@@ -1,0 +1,172 @@
+package cenju4
+
+// One benchmark per table and figure of the paper's evaluation, plus
+// the ablation studies. Each benchmark regenerates its experiment and
+// reports the headline metric the paper's narrative rests on, so
+// `go test -bench=. -benchmem` doubles as a reproduction smoke check.
+// The benchmarks run under the Quick preset; EXPERIMENTS.md records a
+// Full-preset run (cmd/cenju4-bench -full).
+
+import (
+	"testing"
+
+	"cenju4/internal/experiments"
+	"cenju4/internal/npb"
+)
+
+func benchCfg() experiments.Config { return experiments.Quick() }
+
+// BenchmarkTable1 regenerates the directory-scheme characteristics.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Table1()
+		if len(r.Rows) != 6 {
+			b.Fatal("table 1 incomplete")
+		}
+	}
+}
+
+// BenchmarkFigure4 regenerates the node-map precision comparison and
+// reports the bit-pattern scheme's overshoot at 32 sharers in a
+// 128-node group.
+func BenchmarkFigure4(b *testing.B) {
+	var overshoot float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure4(benchCfg())
+		for _, p := range r.PanelB["bit-pattern (42b)"] {
+			if p.Sharers == 32 {
+				overshoot = p.Represented / 32
+			}
+		}
+	}
+	b.ReportMetric(overshoot, "overshoot@32sharers")
+}
+
+// BenchmarkTable2 regenerates the load-latency table and reports the
+// worst relative error against the paper's measured values.
+func BenchmarkTable2(b *testing.B) {
+	var maxErr float64
+	for i := 0; i < b.N; i++ {
+		maxErr = experiments.Table2().MaxError()
+	}
+	b.ReportMetric(100*maxErr, "max-err-%")
+}
+
+// BenchmarkFigure10 regenerates the store-latency curves and reports
+// the 1023-sharer end points (paper: 6.3us with multicast, 184us
+// without).
+func BenchmarkFigure10(b *testing.B) {
+	var mc, sc float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure10()
+		if p, ok := r.EndPoint(1024, true); ok {
+			mc = p.Latency.Microseconds()
+		}
+		if p, ok := r.EndPoint(1024, false); ok {
+			sc = p.Latency.Microseconds()
+		}
+	}
+	b.ReportMetric(mc, "multicast-us")
+	b.ReportMetric(sc, "singlecast-us")
+}
+
+// BenchmarkFigure11 regenerates the DSM-vs-MPI comparison and reports
+// BT's dsm(2) parallel efficiency (paper: 97%).
+func BenchmarkFigure11(b *testing.B) {
+	var eff float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure11(benchCfg())
+		if e, ok := r.Find(npb.BT, npb.DSM2, true); ok {
+			eff = e.Efficiency
+		}
+	}
+	b.ReportMetric(100*eff, "bt-dsm2-eff-%")
+}
+
+// BenchmarkFigure12 regenerates the speedup curves and reports CG's
+// gain from its two largest machine sizes (saturation: close to 1x).
+func BenchmarkFigure12(b *testing.B) {
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure12(benchCfg())
+		if s, ok := r.Find(npb.CG); ok {
+			last := len(s.Speedups) - 1
+			gain = s.Speedups[last] / s.Speedups[last-1]
+		}
+	}
+	b.ReportMetric(gain, "cg-64to128-gain")
+}
+
+// BenchmarkTable3 regenerates the miss-characteristics table and
+// reports BT dsm(1)'s remote-miss-share drop from data mappings.
+func BenchmarkTable3(b *testing.B) {
+	var drop float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.Table3(benchCfg())
+		un, _ := r.Find(npb.BT, npb.DSM1, false)
+		ma, _ := r.Find(npb.BT, npb.DSM1, true)
+		drop = un.Remote - ma.Remote
+	}
+	b.ReportMetric(100*drop, "bt-remote-share-drop-%")
+}
+
+// BenchmarkTable4 regenerates the application-characteristics table and
+// reports CG's remote-miss-share increase from 16 to 128 nodes (the
+// paper measures +71.5 points).
+func BenchmarkTable4(b *testing.B) {
+	var rise float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.Table4(benchCfg())
+		small, _ := r.Find(npb.CG, 16)
+		big, _ := r.Find(npb.CG, 128)
+		rise = big.MissRemote - small.MissRemote
+	}
+	b.ReportMetric(100*rise, "cg-remote-share-rise-%")
+}
+
+// BenchmarkFutureWorkUpdateProtocol measures the paper's Section 4.2.3
+// proposal — update-type protocol plus main-memory third-level caches —
+// and reports its speedup gain over the baseline at 128 nodes.
+func BenchmarkFutureWorkUpdateProtocol(b *testing.B) {
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		gain = experiments.FutureWork(benchCfg()).Gain()
+	}
+	b.ReportMetric(gain, "cg-update-gain-128")
+}
+
+// BenchmarkAblationNack compares the queuing and nack protocols under a
+// hot-block storm and reports the nack protocol's worst retry count.
+func BenchmarkAblationNack(b *testing.B) {
+	var maxRetries float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.AblationNack(32)
+		maxRetries = float64(r.MaxRetries)
+	}
+	b.ReportMetric(maxRetries, "nack-max-retries")
+}
+
+// BenchmarkAblationSinglecastThreshold explores the optimization the
+// paper suggests but did not implement.
+func BenchmarkAblationSinglecastThreshold(b *testing.B) {
+	var points float64
+	for i := 0; i < b.N; i++ {
+		points = float64(len(experiments.AblationSinglecastThreshold(64).Points))
+	}
+	b.ReportMetric(points, "points")
+}
+
+// BenchmarkAblationImprecision measures the bit-pattern map's
+// invalidation overshoot on the running protocol.
+func BenchmarkAblationImprecision(b *testing.B) {
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.AblationImprecision(1024)
+		for _, p := range r.Points {
+			if o := float64(p.Targets) / float64(p.Sharers); o > worst {
+				worst = o
+			}
+		}
+	}
+	b.ReportMetric(worst, "worst-overshoot")
+}

@@ -1,0 +1,93 @@
+// Command cenju4-bench regenerates every table and figure of the
+// paper's evaluation, plus the ablation studies.
+//
+// Usage:
+//
+//	cenju4-bench [-quick|-full] [-scale f] [-iters n] [-only name]
+//
+// Experiment names: table1, table2, table3, table4, fig4, fig10, fig11,
+// fig12, futurework, ablations. The default runs everything under the
+// quick preset (tens of seconds); -full uses Class A scale, matching
+// EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"cenju4/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", true, "quick preset (small problem scale)")
+	full := flag.Bool("full", false, "full preset (Class A scale; overrides -quick)")
+	scale := flag.Float64("scale", 0, "override problem scale (1.0 = NPB Class A)")
+	iters := flag.Int("iters", 0, "override iteration count")
+	only := flag.String("only", "", "comma-separated experiments to run (default: all)")
+	flag.Parse()
+
+	cfg := experiments.Quick()
+	if *full {
+		cfg = experiments.Full()
+	} else if !*quick {
+		cfg = experiments.Full()
+	}
+	if *scale != 0 {
+		cfg.Scale = *scale
+	}
+	if *iters != 0 {
+		cfg.Iterations = *iters
+	}
+
+	selected := map[string]bool{}
+	if *only != "" {
+		for _, name := range strings.Split(*only, ",") {
+			selected[strings.TrimSpace(name)] = true
+		}
+	}
+	want := func(name string) bool { return len(selected) == 0 || selected[name] }
+
+	type step struct {
+		name string
+		run  func() string
+	}
+	steps := []step{
+		{"table1", func() string { return experiments.Table1().Render() }},
+		{"fig4", func() string { return experiments.Figure4(cfg).Render() }},
+		{"table2", func() string { return experiments.Table2().Render() }},
+		{"fig10", func() string { return experiments.Figure10().Render() }},
+		{"fig11", func() string { return experiments.Figure11(cfg).Render() }},
+		{"fig12", func() string { return experiments.Figure12(cfg).Render() }},
+		{"table3", func() string { return experiments.Table3(cfg).Render() }},
+		{"table4", func() string { return experiments.Table4(cfg).Render() }},
+		{"futurework", func() string { return experiments.FutureWork(cfg).Render() }},
+		{"ablations", func() string {
+			var b strings.Builder
+			b.WriteString(experiments.AblationNack(32).Render())
+			b.WriteString("\n")
+			b.WriteString(experiments.AblationSinglecastThreshold(64).Render())
+			b.WriteString("\n")
+			b.WriteString(experiments.AblationImprecision(1024).Render())
+			return b.String()
+		}},
+	}
+
+	ran := 0
+	for _, s := range steps {
+		if !want(s.name) {
+			continue
+		}
+		ran++
+		start := time.Now()
+		out := s.run()
+		fmt.Printf("==== %s (%.1fs, scale %.2f, %d iters) ====\n%s\n",
+			s.name, time.Since(start).Seconds(), cfg.Scale, cfg.Iterations, out)
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "cenju4-bench: no experiment matches %q\n", *only)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,62 @@
+// Command cenju4-sim runs one workload configuration on a simulated
+// Cenju-4 machine and prints its execution summary.
+//
+// Usage:
+//
+//	cenju4-sim -app bt -variant dsm2 -nodes 64 [-nomap] [-scale f] [-iters n]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+
+	"cenju4"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cenju4-sim: ")
+	app := flag.String("app", "bt", "application: bt, cg, ft, sp")
+	variant := flag.String("variant", "dsm2", "program form: seq, mpi, dsm1, dsm2")
+	nodes := flag.Int("nodes", 16, "node count (power of two, <= 1024)")
+	nomap := flag.Bool("nomap", false, "disable shared-data mappings")
+	scale := flag.Float64("scale", 0.25, "problem scale (1.0 = NPB Class A)")
+	iters := flag.Int("iters", 2, "outer iterations")
+	flag.Parse()
+
+	mapped := !*nomap
+	res, err := cenju4.RunNPB(*app, *variant, cenju4.WorkloadOptions{
+		Nodes:       *nodes,
+		DataMapping: &mapped,
+		Iterations:  *iters,
+		Scale:       *scale,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s/%s on %d nodes (scale %.2f, %d iterations, mappings %v)\n",
+		*app, *variant, *nodes, *scale, *iters, mapped)
+	fmt.Printf("  simulated time    %v\n", res.Time)
+	fmt.Printf("  instructions      %d\n", res.Instructions)
+	fmt.Printf("  memory accesses   %d\n", res.MemAccesses)
+	fmt.Printf("  L2 miss ratio     %.2f%%\n", 100*res.MissRatio)
+	fmt.Printf("  miss breakdown    private %.1f%% / local %.1f%% / remote %.1f%%\n",
+		100*res.PrivateMissShare, 100*res.LocalMissShare, 100*res.RemoteMissShare)
+	fmt.Printf("  sync fraction     %.1f%%\n", 100*res.SyncFraction)
+	fmt.Printf("  rewriting ratio   %.1f%%\n", 100*res.RewriteRatio)
+	if len(res.Latency) > 0 {
+		fmt.Println("  transaction latencies:")
+		kinds := make([]string, 0, len(res.Latency))
+		for k := range res.Latency {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		for _, k := range kinds {
+			l := res.Latency[k]
+			fmt.Printf("    %-16s n=%-8d mean=%-9v p50<=%-9v p99<=%-9v max=%v\n",
+				k, l.Count, l.Mean, l.P50, l.P99, l.Max)
+		}
+	}
+}

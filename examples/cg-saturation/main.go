@@ -1,0 +1,55 @@
+// CG saturation: reproduce the paper's Figure 12 finding that CG stops
+// scaling. Every node re-reads the whole shared vector each iteration
+// while its own work shrinks with the node count, so the constant
+// remote re-fetch cost eventually dominates — the case the paper says
+// needs scalable *load* latency (its update-protocol future work), not
+// just scalable stores.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cenju4"
+)
+
+func main() {
+	log.SetFlags(0)
+	const scale, iters = 0.25, 3
+
+	seq, err := cenju4.RunNPB("cg", "seq", cenju4.WorkloadOptions{Iterations: iters, Scale: scale})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("CG dsm(2) with data mappings, scale %.2f (sequential run: %v)\n\n", scale, seq.Time)
+	fmt.Printf("%8s  %12s  %10s  %12s  %18s\n", "nodes", "time", "speedup", "efficiency", "remote miss share")
+
+	for _, nodes := range []int{4, 16, 64, 128} {
+		r, err := cenju4.RunNPB("cg", "dsm2", cenju4.WorkloadOptions{
+			Nodes:      nodes,
+			Iterations: iters,
+			Scale:      scale,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		speedup := float64(seq.Time) / float64(r.Time)
+		fmt.Printf("%8d  %12v  %9.1fx  %11.1f%%  %17.1f%%\n",
+			nodes, r.Time, speedup, 100*speedup/float64(nodes), 100*r.RemoteMissShare)
+	}
+
+	fmt.Println("\nCompare BT, which keeps scaling under the same treatment:")
+	seqBT, _ := cenju4.RunNPB("bt", "seq", cenju4.WorkloadOptions{Iterations: iters, Scale: scale})
+	for _, nodes := range []int{4, 16, 64} {
+		r, err := cenju4.RunNPB("bt", "dsm2", cenju4.WorkloadOptions{
+			Nodes:      nodes,
+			Iterations: iters,
+			Scale:      scale,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		speedup := float64(seqBT.Time) / float64(r.Time)
+		fmt.Printf("%8d  %12v  %9.1fx  %11.1f%%\n", nodes, r.Time, speedup, 100*speedup/float64(nodes))
+	}
+}

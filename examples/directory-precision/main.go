@@ -1,0 +1,43 @@
+// Directory precision: reproduce the shape of the paper's Figure 4 —
+// how many nodes each imprecise directory scheme believes are sharing,
+// as the true sharer count grows, for sharers scattered across the
+// whole 1024-node machine and for sharers confined to one 128-node
+// group (the multi-user case the bit-pattern structure wins).
+package main
+
+import (
+	"fmt"
+
+	"cenju4"
+)
+
+func main() {
+	sharers := []int{1, 2, 4, 8, 16, 32, 64, 128}
+
+	for _, panel := range []struct {
+		title string
+		group int
+	}{
+		{"sharers drawn from all 1024 nodes (Figure 4a)", 0},
+		{"sharers drawn from one 128-node group (Figure 4b)", 128},
+	} {
+		fmt.Println(panel.title)
+		results := cenju4.DirectoryPrecision(1024, panel.group, 200, sharers)
+		fmt.Printf("%10s", "sharers")
+		names := cenju4.Schemes()
+		for _, n := range names {
+			fmt.Printf("  %28s", n)
+		}
+		fmt.Println()
+		for i, k := range sharers {
+			fmt.Printf("%10d", k)
+			for _, n := range names {
+				fmt.Printf("  %28.1f", results[n][i].Represented)
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+	}
+	fmt.Println("The pointer + bit-pattern scheme is exact up to 4 sharers and stays")
+	fmt.Println("far more precise than the coarse vector when sharers cluster in a group.")
+}

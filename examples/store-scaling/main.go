@@ -1,0 +1,39 @@
+// Store scaling: the paper's Figure 10 argument, live. Store latency to
+// a widely shared block stays nearly flat when invalidations are
+// multicast and their replies gathered in-network, and grows linearly
+// with the sharer count when they are not.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"cenju4"
+)
+
+func storeLatency(multicast bool, nodes, sharers int) time.Duration {
+	var opts []cenju4.Option
+	if !multicast {
+		opts = append(opts, cenju4.WithoutMulticast())
+	}
+	m := cenju4.NewMachine(nodes, opts...)
+	// Nodes 1..sharers read the block homed at node 0, then node 1
+	// upgrades its copy — an ownership request that invalidates the rest.
+	for n := 1; n <= sharers; n++ {
+		m.Load(n, 0, 0)
+	}
+	return m.Store(1, 0, 0)
+}
+
+func main() {
+	const nodes = 1024
+	fmt.Printf("store latency to a block shared by k of %d nodes:\n\n", nodes)
+	fmt.Printf("%8s  %18s  %18s\n", "sharers", "multicast+gather", "singlecast")
+	for _, k := range []int{2, 4, 16, 64, 256, 1023} {
+		with := storeLatency(true, nodes, k)
+		without := storeLatency(false, nodes, k)
+		fmt.Printf("%8d  %18v  %18v\n", k, with, without)
+	}
+	fmt.Println("\nThe paper estimates 6.3us vs 184us at 1024 sharers — the multicast and")
+	fmt.Println("gathering functions make store latency scale with network stages, not nodes.")
+}

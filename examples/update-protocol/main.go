@@ -1,0 +1,48 @@
+// Update protocol: the paper's Section 4.2.3 future work, implemented.
+// CG saturates because every node re-reads the whole shared vector each
+// iteration after its owners rewrite it. With the vector under an
+// update-type protocol — stores broadcast the new data into a
+// third-level cache in every node's main memory — those re-reads are
+// satisfied locally and the saturation lifts.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cenju4"
+)
+
+func run(nodes int, update bool, scale float64) cenju4.WorkloadResult {
+	r, err := cenju4.RunNPB("cg", "dsm2", cenju4.WorkloadOptions{
+		Nodes:          nodes,
+		Iterations:     3,
+		Scale:          scale,
+		UpdateProtocol: update,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return r
+}
+
+func main() {
+	const scale = 0.25
+	seq, err := cenju4.RunNPB("cg", "seq", cenju4.WorkloadOptions{Iterations: 3, Scale: scale})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("CG dsm(2), scale %.2f (sequential: %v)\n\n", scale, seq.Time)
+	fmt.Printf("%8s  %28s  %28s\n", "", "invalidate protocol (Cenju-4)", "update protocol (extension)")
+	fmt.Printf("%8s  %12s  %12s  %12s  %12s\n", "nodes", "speedup", "remote miss", "speedup", "remote miss")
+	for _, nodes := range []int{16, 64, 128} {
+		base := run(nodes, false, scale)
+		upd := run(nodes, true, scale)
+		fmt.Printf("%8d  %11.1fx  %11.2f%%  %11.1fx  %11.2f%%\n",
+			nodes,
+			float64(seq.Time)/float64(base.Time), 100*base.MissRatio*base.RemoteMissShare,
+			float64(seq.Time)/float64(upd.Time), 100*upd.MissRatio*upd.RemoteMissShare)
+	}
+	fmt.Println("\nThe gain grows with machine size: the extension attacks exactly the")
+	fmt.Println("constant per-node re-fetch cost that caps CG's scaling in Figure 12.")
+}

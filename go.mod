@@ -1,0 +1,3 @@
+module cenju4
+
+go 1.22

@@ -1,0 +1,248 @@
+// Package cache models the per-node secondary cache of Cenju-4: 1 MB,
+// controlled by the R10000, 128-byte lines, MESI states. The simulator
+// tracks tags and coherence states, not data contents — workloads are
+// address streams, and block data values never influence timing.
+package cache
+
+import (
+	"fmt"
+
+	"cenju4/internal/topology"
+)
+
+// LineState is the MESI state of a cache line.
+type LineState uint8
+
+const (
+	// Invalid: the line holds no valid copy.
+	Invalid LineState = iota
+	// Shared: a clean copy that other caches may also hold.
+	Shared
+	// Exclusive: the only cached copy, clean — stores upgrade silently.
+	Exclusive
+	// Modified: the only cached copy, dirty — replacement writes back.
+	Modified
+)
+
+func (s LineState) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	}
+	return fmt.Sprintf("LineState(%d)", uint8(s))
+}
+
+// Config sizes a cache.
+type Config struct {
+	// SizeBytes is the total capacity (default 1 MB).
+	SizeBytes int
+	// Ways is the set associativity (default 2, as on the R10000 L2).
+	Ways int
+}
+
+func (c Config) withDefaults() Config {
+	if c.SizeBytes == 0 {
+		c.SizeBytes = 1 << 20
+	}
+	if c.Ways == 0 {
+		c.Ways = 2
+	}
+	return c
+}
+
+type line struct {
+	addr  topology.Addr // block address; meaningful only when state != Invalid
+	state LineState
+	lru   uint64
+}
+
+// Stats counts cache events.
+type Stats struct {
+	Hits        uint64
+	Misses      uint64
+	Writebacks  uint64 // modified lines evicted
+	Invalidates uint64 // lines killed by coherence actions
+}
+
+// Cache is one node's secondary cache.
+type Cache struct {
+	cfg   Config
+	sets  [][]line
+	nsets int
+	tick  uint64
+	stats Stats
+}
+
+// New builds a cache from cfg.
+func New(cfg Config) *Cache {
+	cfg = cfg.withDefaults()
+	nsets := cfg.SizeBytes / (topology.BlockSize * cfg.Ways)
+	if nsets < 1 || nsets&(nsets-1) != 0 {
+		panic(fmt.Sprintf("cache: size %d / ways %d yields bad set count %d", cfg.SizeBytes, cfg.Ways, nsets))
+	}
+	sets := make([][]line, nsets)
+	backing := make([]line, nsets*cfg.Ways)
+	for i := range sets {
+		sets[i] = backing[i*cfg.Ways : (i+1)*cfg.Ways]
+	}
+	return &Cache{cfg: cfg, sets: sets, nsets: nsets}
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Sets returns the set count (for tests and capacity planning).
+func (c *Cache) Sets() int { return c.nsets }
+
+func (c *Cache) set(addr topology.Addr) []line {
+	idx := int(uint64(addr)>>topology.BlockShift) & (c.nsets - 1)
+	return c.sets[idx]
+}
+
+func (c *Cache) find(block topology.Addr) *line {
+	s := c.set(block)
+	for i := range s {
+		if s[i].state != Invalid && s[i].addr == block {
+			return &s[i]
+		}
+	}
+	return nil
+}
+
+// State returns the MESI state of the block (Invalid when absent).
+func (c *Cache) State(addr topology.Addr) LineState {
+	if l := c.find(addr.Block()); l != nil {
+		return l.state
+	}
+	return Invalid
+}
+
+// Access performs a processor load or store lookup. On a hit it updates
+// LRU, applies the silent E->M upgrade for stores, and returns
+// (state-before-access, true). On a miss it returns (Invalid, false) —
+// except a store to a Shared line, which is a "hit" in the array but
+// still returns (Shared, false) at the protocol level because an
+// ownership request is required; the caller upgrades via SetState after
+// the transaction completes.
+func (c *Cache) Access(addr topology.Addr, store bool) (LineState, bool) {
+	block := addr.Block()
+	l := c.find(block)
+	if l == nil {
+		c.stats.Misses++
+		return Invalid, false
+	}
+	c.tick++
+	l.lru = c.tick
+	if !store {
+		c.stats.Hits++
+		return l.state, true
+	}
+	switch l.state {
+	case Modified:
+		c.stats.Hits++
+		return Modified, true
+	case Exclusive:
+		l.state = Modified // silent upgrade: sole clean copy
+		c.stats.Hits++
+		return Exclusive, true
+	default: // Shared: requires an ownership transaction
+		c.stats.Misses++
+		return Shared, false
+	}
+}
+
+// SetState changes the coherence state of a resident block (used by the
+// protocol modules: invalidations, downgrades, upgrade completions). It
+// is a no-op when the block is absent — an invalidation can legally
+// target a silently evicted line.
+func (c *Cache) SetState(addr topology.Addr, st LineState) {
+	l := c.find(addr.Block())
+	if l == nil {
+		return
+	}
+	if st == Invalid {
+		c.stats.Invalidates++
+	}
+	l.state = st
+}
+
+// Victim describes a block displaced by Insert.
+type Victim struct {
+	Addr      topology.Addr
+	Writeback bool // the victim was Modified and must be written back
+	Valid     bool // a block was displaced at all
+}
+
+// Insert allocates the block with the given state, evicting the LRU way
+// if the set is full. Clean victims are dropped silently (the directory
+// keeps a stale sharer record; a later invalidation is simply
+// acknowledged). Modified victims are reported for writeback.
+func (c *Cache) Insert(addr topology.Addr, st LineState) Victim {
+	block := addr.Block()
+	if l := c.find(block); l != nil {
+		// Re-insert (transaction completion on a resident line).
+		l.state = st
+		c.tick++
+		l.lru = c.tick
+		return Victim{}
+	}
+	s := c.set(block)
+	victim := &s[0]
+	for i := range s {
+		if s[i].state == Invalid {
+			victim = &s[i]
+			break
+		}
+		if s[i].lru < victim.lru {
+			victim = &s[i]
+		}
+	}
+	out := Victim{}
+	if victim.state != Invalid {
+		out = Victim{Addr: victim.addr, Writeback: victim.state == Modified, Valid: true}
+		if victim.state == Modified {
+			c.stats.Writebacks++
+		}
+	}
+	c.tick++
+	*victim = line{addr: block, state: st, lru: c.tick}
+	return out
+}
+
+// Flush invalidates every line and returns the addresses of modified
+// blocks needing writeback (used when a workload phase migrates data).
+func (c *Cache) Flush() []topology.Addr {
+	var dirty []topology.Addr
+	for si := range c.sets {
+		for wi := range c.sets[si] {
+			l := &c.sets[si][wi]
+			if l.state == Modified {
+				dirty = append(dirty, l.addr)
+				c.stats.Writebacks++
+			}
+			if l.state != Invalid {
+				l.state = Invalid
+			}
+		}
+	}
+	return dirty
+}
+
+// Occupancy returns the number of valid lines (for tests).
+func (c *Cache) Occupancy() int {
+	n := 0
+	for si := range c.sets {
+		for wi := range c.sets[si] {
+			if c.sets[si][wi].state != Invalid {
+				n++
+			}
+		}
+	}
+	return n
+}

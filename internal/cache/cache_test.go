@@ -1,0 +1,243 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"cenju4/internal/topology"
+)
+
+func addr(node topology.NodeID, block uint64) topology.Addr {
+	return topology.SharedAddr(node, block*topology.BlockSize)
+}
+
+func TestDefaultGeometry(t *testing.T) {
+	c := New(Config{})
+	// 1 MB / (128 B * 2 ways) = 4096 sets.
+	if c.Sets() != 4096 {
+		t.Fatalf("Sets() = %d, want 4096", c.Sets())
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for non-power-of-two set count")
+		}
+	}()
+	New(Config{SizeBytes: 3 * topology.BlockSize, Ways: 1})
+}
+
+func TestMissThenHit(t *testing.T) {
+	c := New(Config{})
+	a := addr(1, 5)
+	if st, hit := c.Access(a, false); hit || st != Invalid {
+		t.Fatalf("cold access: (%v,%v)", st, hit)
+	}
+	c.Insert(a, Shared)
+	if st, hit := c.Access(a, false); !hit || st != Shared {
+		t.Fatalf("after insert: (%v,%v)", st, hit)
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestUnalignedAddressesShareBlock(t *testing.T) {
+	c := New(Config{})
+	c.Insert(topology.SharedAddr(0, 640), Exclusive)
+	if st, hit := c.Access(topology.SharedAddr(0, 700), false); !hit || st != Exclusive {
+		t.Fatalf("same-block access missed: (%v,%v)", st, hit)
+	}
+}
+
+func TestSilentExclusiveUpgrade(t *testing.T) {
+	c := New(Config{})
+	a := addr(0, 1)
+	c.Insert(a, Exclusive)
+	st, hit := c.Access(a, true)
+	if !hit || st != Exclusive {
+		t.Fatalf("store to E: (%v,%v), want (E,true)", st, hit)
+	}
+	if c.State(a) != Modified {
+		t.Fatalf("state after silent upgrade = %v, want M", c.State(a))
+	}
+}
+
+func TestStoreToSharedIsProtocolMiss(t *testing.T) {
+	c := New(Config{})
+	a := addr(0, 1)
+	c.Insert(a, Shared)
+	st, hit := c.Access(a, true)
+	if hit || st != Shared {
+		t.Fatalf("store to S: (%v,%v), want (S,false) — ownership required", st, hit)
+	}
+	if c.State(a) != Shared {
+		t.Fatal("store to S must not change state before the transaction completes")
+	}
+}
+
+func TestStoreToModifiedHits(t *testing.T) {
+	c := New(Config{})
+	a := addr(0, 1)
+	c.Insert(a, Modified)
+	if st, hit := c.Access(a, true); !hit || st != Modified {
+		t.Fatalf("store to M: (%v,%v)", st, hit)
+	}
+}
+
+func TestSetStateInvalidate(t *testing.T) {
+	c := New(Config{})
+	a := addr(0, 9)
+	c.Insert(a, Shared)
+	c.SetState(a, Invalid)
+	if c.State(a) != Invalid {
+		t.Fatal("invalidate failed")
+	}
+	if c.Stats().Invalidates != 1 {
+		t.Fatalf("Invalidates = %d", c.Stats().Invalidates)
+	}
+	// Invalidating an absent block is a no-op.
+	c.SetState(addr(0, 99), Invalid)
+	if c.Stats().Invalidates != 1 {
+		t.Fatal("no-op invalidate counted")
+	}
+}
+
+func TestDowngradeModifiedToShared(t *testing.T) {
+	c := New(Config{})
+	a := addr(0, 3)
+	c.Insert(a, Modified)
+	c.SetState(a, Shared)
+	if c.State(a) != Shared {
+		t.Fatal("downgrade failed")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(Config{SizeBytes: 2 * 128, Ways: 2}) // one set, two ways
+	a0, a1, a2 := addr(0, 0), addr(0, 1), addr(0, 2)
+	c.Insert(a0, Shared)
+	c.Insert(a1, Shared)
+	c.Access(a0, false) // a0 most recent; a1 is LRU
+	v := c.Insert(a2, Shared)
+	if !v.Valid || v.Addr != a1.Block() {
+		t.Fatalf("victim = %+v, want %v", v, a1.Block())
+	}
+	if v.Writeback {
+		t.Fatal("clean victim flagged for writeback")
+	}
+	if c.State(a0) != Shared || c.State(a1) != Invalid || c.State(a2) != Shared {
+		t.Fatal("post-eviction states wrong")
+	}
+}
+
+func TestModifiedEvictionWritesBack(t *testing.T) {
+	c := New(Config{SizeBytes: 128, Ways: 1})
+	a0, a1 := addr(0, 0), addr(0, 4096) // map to the same single set
+	c.Insert(a0, Modified)
+	v := c.Insert(a1, Exclusive)
+	if !v.Valid || !v.Writeback || v.Addr != a0.Block() {
+		t.Fatalf("victim = %+v, want writeback of %v", v, a0.Block())
+	}
+	if c.Stats().Writebacks != 1 {
+		t.Fatalf("Writebacks = %d", c.Stats().Writebacks)
+	}
+}
+
+func TestReinsertUpdatesState(t *testing.T) {
+	c := New(Config{})
+	a := addr(0, 7)
+	c.Insert(a, Shared)
+	v := c.Insert(a, Modified)
+	if v.Valid {
+		t.Fatal("re-insert evicted something")
+	}
+	if c.State(a) != Modified {
+		t.Fatal("re-insert did not update state")
+	}
+	if c.Occupancy() != 1 {
+		t.Fatalf("Occupancy = %d, want 1", c.Occupancy())
+	}
+}
+
+func TestFlush(t *testing.T) {
+	c := New(Config{})
+	c.Insert(addr(0, 1), Modified)
+	c.Insert(addr(0, 2), Shared)
+	c.Insert(addr(0, 3), Modified)
+	dirty := c.Flush()
+	if len(dirty) != 2 {
+		t.Fatalf("Flush returned %d dirty blocks, want 2", len(dirty))
+	}
+	if c.Occupancy() != 0 {
+		t.Fatalf("Occupancy after flush = %d", c.Occupancy())
+	}
+}
+
+func TestPrivateAndSharedCoexist(t *testing.T) {
+	c := New(Config{})
+	p := topology.PrivateAddr(256)
+	s := addr(3, 2)
+	c.Insert(p, Exclusive)
+	c.Insert(s, Shared)
+	if c.State(p) != Exclusive || c.State(s) != Shared {
+		t.Fatal("private/shared lines interfere")
+	}
+}
+
+// Property: the cache never exceeds capacity and a just-inserted block
+// is always resident.
+func TestPropertyCapacityAndResidency(t *testing.T) {
+	c := New(Config{SizeBytes: 64 * 128, Ways: 2}) // 64 lines
+	rng := rand.New(rand.NewSource(10))
+	for i := 0; i < 5000; i++ {
+		a := addr(topology.NodeID(rng.Intn(4)), uint64(rng.Intn(500)))
+		st := []LineState{Shared, Exclusive, Modified}[rng.Intn(3)]
+		c.Insert(a, st)
+		if c.State(a) == Invalid {
+			t.Fatalf("just-inserted block %v not resident", a)
+		}
+		if occ := c.Occupancy(); occ > 64 {
+			t.Fatalf("occupancy %d exceeds capacity", occ)
+		}
+	}
+}
+
+// Property: every writeback reported corresponds to a block that was in
+// Modified state.
+func TestPropertyWritebackOnlyModified(t *testing.T) {
+	c := New(Config{SizeBytes: 8 * 128, Ways: 2})
+	rng := rand.New(rand.NewSource(77))
+	states := map[topology.Addr]LineState{}
+	for i := 0; i < 3000; i++ {
+		a := addr(0, uint64(rng.Intn(64))).Block()
+		st := []LineState{Shared, Exclusive, Modified}[rng.Intn(3)]
+		v := c.Insert(a, st)
+		if v.Valid {
+			was := states[v.Addr]
+			if v.Writeback != (was == Modified) {
+				t.Fatalf("victim %v writeback=%v but recorded state %v", v.Addr, v.Writeback, was)
+			}
+			delete(states, v.Addr)
+		}
+		states[a] = st
+	}
+}
+
+func TestLineStateString(t *testing.T) {
+	if Invalid.String() != "I" || Shared.String() != "S" || Exclusive.String() != "E" || Modified.String() != "M" {
+		t.Fatal("LineState strings wrong")
+	}
+}
+
+func BenchmarkAccessHit(b *testing.B) {
+	c := New(Config{})
+	a := addr(0, 3)
+	c.Insert(a, Exclusive)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(a, false)
+	}
+}

@@ -1,0 +1,313 @@
+// Package core implements the Cenju-4 cache coherence protocol — the
+// paper's primary contribution. Each node's controller chip contains
+// three modules:
+//
+//   - the master module issues read-shared, read-exclusive, ownership
+//     and writeback requests for its processor's misses and receives the
+//     replies (at most topology.MaxOutstanding in flight);
+//   - the home module owns the directory for locally-homed blocks and
+//     runs the appendix protocol: it replies directly when it can,
+//     forwards to the dirty slave when it cannot, multicasts
+//     invalidations, and — in the queuing protocol — appends requests
+//     that hit a pending block to a memory-resident FIFO instead of
+//     nacking them;
+//   - the slave module services forwarded requests and invalidations
+//     against the local cache, always replying to the home (never to the
+//     master), which removes the two DASH nack races of Figure 8.
+//
+// The protocol runs in one of two modes. ModeQueuing is Cenju-4's
+// starvation-free protocol: the home never nacks; blocked requests wait
+// in a FIFO whose head is tied to the directory's reservation bit.
+// ModeNack is the DASH-style comparison: requests against pending
+// blocks are nacked and the master retries after a delay — under
+// contention some masters retry unboundedly (Figure 6(a)), which the
+// ablation benchmarks quantify.
+//
+// Deadlock prevention (one physical network) is modeled structurally:
+// the master buffer holds at most MaxOutstanding replies, and the slave
+// and home modules spill to bounded memory-resident overflow queues
+// (64 KB each at 1024 nodes) whose occupancy the tests drive to the
+// paper's sizing bound.
+package core
+
+import (
+	"fmt"
+
+	"cenju4/internal/cache"
+	"cenju4/internal/directory"
+	"cenju4/internal/memory"
+	"cenju4/internal/msg"
+	"cenju4/internal/sim"
+	"cenju4/internal/stats"
+	"cenju4/internal/timing"
+	"cenju4/internal/topology"
+)
+
+// Mode selects the coherence protocol variant.
+type Mode uint8
+
+const (
+	// ModeQueuing is the Cenju-4 protocol: requests that hit a pending
+	// block are queued in main memory; the home never nacks.
+	ModeQueuing Mode = iota
+	// ModeNack is the DASH-style comparison protocol: the home nacks
+	// requests against pending blocks and masters retry.
+	ModeNack
+)
+
+func (m Mode) String() string {
+	if m == ModeQueuing {
+		return "queuing"
+	}
+	return "nack"
+}
+
+// Fabric is the transport the controllers send remote messages through.
+// network.Network implements it; unit tests use a direct loopback.
+type Fabric interface {
+	Send(m *msg.Message)
+	AllocGather(spec directory.Dest, home topology.NodeID) *msg.Gather
+	MulticastEnabled() bool
+	Nodes() int
+}
+
+// Config parameterizes one node's controller.
+type Config struct {
+	Node  topology.NodeID
+	Nodes int
+	// Params supplies latency constants; zero value means timing.Default().
+	Params timing.Params
+	// Mode selects queuing (default) or nack protocol.
+	Mode Mode
+	// NackDelay is the master's retry backoff in ModeNack.
+	NackDelay sim.Time
+	// Cache overrides the cache geometry (default 1 MB, 2-way).
+	Cache cache.Config
+	// ModuleBufEntries is the on-chip buffer depth of the slave and home
+	// modules before messages spill to the memory overflow queues.
+	ModuleBufEntries int
+	// SinglecastThreshold: invalidation target counts at or below this
+	// use singlecast messages instead of multicast+gathering. The
+	// hardware behavior is 1 (the paper notes a higher threshold was
+	// possible but not implemented — an ablation benchmark explores it).
+	SinglecastThreshold int
+	// UpdateMode marks blocks handled by the update-type protocol the
+	// paper proposes as future work (Section 4.2.3): stores write
+	// through to the home, which multicasts the new data to a
+	// third-level cache in every node's main memory; loads are then
+	// satisfied locally. Nil disables the extension (the shipped
+	// Cenju-4 behavior).
+	UpdateMode func(topology.Addr) bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Params == (timing.Params{}) {
+		c.Params = timing.Default()
+	}
+	if c.NackDelay == 0 {
+		c.NackDelay = 1000
+	}
+	if c.ModuleBufEntries == 0 {
+		c.ModuleBufEntries = 4
+	}
+	if c.SinglecastThreshold == 0 {
+		c.SinglecastThreshold = 1
+	}
+	return c
+}
+
+// Stats aggregates one controller's protocol activity.
+type Stats struct {
+	// Master side.
+	Requests   map[msg.Kind]uint64
+	Replies    uint64
+	Nacks      uint64
+	Retries    uint64
+	MaxRetries int
+	Writebacks uint64
+	LatencySum sim.Time
+	LatencyMax sim.Time
+	Completed  uint64
+	// Home side.
+	HomeRequests   uint64
+	HomeForwards   uint64
+	Invalidations  uint64 // invalidation transactions (multicast or singlecast group)
+	InvTargets     uint64 // individual invalidation targets
+	QueuedRequests uint64
+	QueueHighWater int
+	// Slave side.
+	SlaveRequests   uint64
+	SlaveOverflowHW int
+	HomeOverflowHW  int
+	// Update-protocol extension.
+	L3Hits       uint64 // loads satisfied by the local third-level cache
+	UpdateWrites uint64 // write-through stores issued
+}
+
+// Controller is one node's coherence engine (master + home + slave).
+type Controller struct {
+	cfg Config
+	eng *sim.Engine
+	fab Fabric
+
+	cache *cache.Cache
+	mem   *memory.Memory
+
+	master masterModule
+	home   homeModule
+	slave  slaveModule
+
+	// l3 tracks update-mode blocks present in this node's third-level
+	// cache (main memory); allNodes caches the all-nodes multicast
+	// destination for update-data fan-out.
+	l3       map[topology.Addr]bool
+	allNodes directory.Dest
+
+	trace Tracer
+	stats Stats
+}
+
+// New builds a controller for cfg.Node.
+func New(eng *sim.Engine, fab Fabric, cfg Config) *Controller {
+	cfg = cfg.withDefaults()
+	c := &Controller{
+		cfg:   cfg,
+		eng:   eng,
+		fab:   fab,
+		cache: cache.New(cfg.Cache),
+		mem:   memory.New(cfg.Node),
+	}
+	c.stats.Requests = make(map[msg.Kind]uint64)
+	if cfg.UpdateMode != nil {
+		c.l3 = make(map[topology.Addr]bool)
+		c.allNodes = directory.AllNodes(cfg.Nodes)
+	}
+	c.master.init(c)
+	c.home.init(c)
+	c.slave.init(c)
+	return c
+}
+
+// updateBlock reports whether addr is handled by the update protocol.
+func (c *Controller) updateBlock(addr topology.Addr) bool {
+	return c.cfg.UpdateMode != nil && c.cfg.UpdateMode(addr)
+}
+
+// Node returns the controller's node ID.
+func (c *Controller) Node() topology.NodeID { return c.cfg.Node }
+
+// Cache exposes the node's secondary cache (the processor model drives
+// hits against it directly).
+func (c *Controller) Cache() *cache.Cache { return c.cache }
+
+// Memory exposes the node's directory memory.
+func (c *Controller) Memory() *memory.Memory { return c.mem }
+
+// Stats returns a snapshot of the counters (queue high-water marks are
+// refreshed on read).
+func (c *Controller) Stats() Stats {
+	s := c.stats
+	s.QueueHighWater = c.home.queue.HighWater()
+	s.SlaveOverflowHW = c.slave.overflow.HighWater()
+	s.HomeOverflowHW = c.home.overflow.HighWater()
+	// Copy the map so callers cannot race with updates.
+	s.Requests = make(map[msg.Kind]uint64, len(c.stats.Requests))
+	for k, v := range c.stats.Requests {
+		s.Requests[k] = v
+	}
+	return s
+}
+
+// Deliver is the network handler: it routes an incoming message to the
+// destination module.
+func (c *Controller) Deliver(m *msg.Message) {
+	c.emit(TraceRecv, m)
+	switch {
+	case m.Kind.ToHome():
+		c.home.handle(m)
+	case m.Kind.ToSlave():
+		c.slave.handle(m)
+	case m.Kind.ToMaster():
+		c.master.handle(m)
+	default:
+		panic(fmt.Sprintf("core: undeliverable message %v", m))
+	}
+}
+
+// send routes a message: destinations on this node are delivered
+// directly (module-to-module transfers inside the controller chip do
+// not use the network); everything else goes through the fabric.
+// Gatherable replies always use the network so in-network combining
+// stays uniform.
+func (c *Controller) send(m *msg.Message, delay sim.Time) {
+	local := !m.Dest.IsPattern && len(m.Dest.Pointers) == 1 &&
+		m.Dest.Pointers[0] == c.cfg.Node && m.Gather == nil
+	c.eng.After(delay, func() {
+		if local {
+			c.emit(TraceLocal, m)
+			c.Deliver(m)
+		} else {
+			c.emit(TraceSend, m)
+			c.fab.Send(m)
+		}
+	})
+}
+
+// isLocal reports whether a message came from this node's own modules
+// (local transfers skip the per-message controller processing cost that
+// network arrivals pay — calibrated so a shared-local-clean load costs
+// exactly DirAccess more than a private load, per Table 2).
+func (c *Controller) isLocal(m *msg.Message) bool { return m.Src == c.cfg.Node }
+
+// Request begins a coherence transaction for a shared-memory access
+// that missed (or needs ownership). done runs when the access
+// graduates. The address must be a DSM address.
+func (c *Controller) Request(addr topology.Addr, store bool, done func()) {
+	if !addr.Shared() {
+		panic(fmt.Sprintf("core: Request on private address %v", addr))
+	}
+	c.master.request(addr.Block(), store, done)
+}
+
+// Outstanding returns the number of in-flight master transactions.
+func (c *Controller) Outstanding() int { return len(c.master.slots) }
+
+// Latencies returns the per-request-kind transaction latency
+// histograms. The returned histograms are live; callers must treat them
+// as read-only.
+func (c *Controller) Latencies() map[msg.Kind]*stats.Histogram { return c.master.lat }
+
+// QueueLen returns the current depth of the home's memory-resident
+// request queue (for validators and tests).
+func (c *Controller) QueueLen() int { return c.home.queue.Len() }
+
+// PendingBlocks returns the number of locally-homed blocks with an
+// in-flight transaction.
+func (c *Controller) PendingBlocks() int { return len(c.home.pending) }
+
+// EvictShared issues the writeback for a modified shared block that the
+// processor displaced from the cache (e.g. when a private-memory line
+// claimed its way). Writebacks expect no reply and occupy no MSHR slot.
+func (c *Controller) EvictShared(addr topology.Addr) {
+	if !addr.Shared() {
+		panic(fmt.Sprintf("core: EvictShared on private address %v", addr))
+	}
+	c.master.writeback(addr.Block())
+}
+
+// module serializes message processing: a module starts a service by
+// receiving a message and does not start another while busy.
+type module struct {
+	busy sim.Time
+}
+
+// admit returns the service start time for work arriving now and marks
+// the module busy until start+cost.
+func (m *module) admit(eng *sim.Engine, cost sim.Time) sim.Time {
+	start := eng.Now()
+	if m.busy > start {
+		start = m.busy
+	}
+	m.busy = start + cost
+	return start
+}

@@ -1,0 +1,290 @@
+package core
+
+import (
+	"fmt"
+
+	"cenju4/internal/cache"
+	"cenju4/internal/directory"
+	"cenju4/internal/msg"
+	"cenju4/internal/sim"
+	"cenju4/internal/stats"
+	"cenju4/internal/topology"
+)
+
+// mshr is one outstanding master transaction (the R10000 allows four).
+type mshr struct {
+	addr      topology.Addr
+	store     bool
+	kind      msg.Kind
+	issuedAt  sim.Time
+	done      func()
+	waiters   []deferredReq // same-block accesses arriving mid-flight
+	retries   int
+	installL3 bool // update protocol: record the block in the local L3
+}
+
+type deferredReq struct {
+	addr  topology.Addr
+	store bool
+	done  func()
+}
+
+// masterModule issues requests and consumes replies.
+type masterModule struct {
+	c        *Controller
+	slots    map[topology.Addr]*mshr
+	deferred []deferredReq // waiting for a free MSHR slot
+
+	// Write-combining buffer for the update-protocol extension: one
+	// block slot. The first store to a block broadcasts the update;
+	// subsequent stores to the same block are absorbed until the
+	// processor moves to another block (real update protocols combine
+	// at block granularity or broadcast every word — combining is what
+	// makes the extension profitable).
+	combining      topology.Addr
+	combiningValid bool
+
+	// lat tracks per-request-kind transaction latency distributions.
+	lat map[msg.Kind]*stats.Histogram
+}
+
+func (m *masterModule) init(c *Controller) {
+	m.c = c
+	m.slots = make(map[topology.Addr]*mshr)
+	m.lat = make(map[msg.Kind]*stats.Histogram)
+}
+
+func (m *masterModule) recordLatency(kind msg.Kind, lat sim.Time) {
+	h := m.lat[kind]
+	if h == nil {
+		h = &stats.Histogram{}
+		m.lat[kind] = h
+	}
+	h.Add(lat)
+}
+
+// request starts (or merges, or defers) a transaction for block addr.
+func (m *masterModule) request(addr topology.Addr, store bool, done func()) {
+	if slot, ok := m.slots[addr]; ok {
+		slot.waiters = append(slot.waiters, deferredReq{addr, store, done})
+		return
+	}
+	if len(m.slots) >= topology.MaxOutstanding {
+		m.deferred = append(m.deferred, deferredReq{addr, store, done})
+		return
+	}
+	m.issue(addr, store, done)
+}
+
+// issue re-examines the cache (a waiter's need may have been satisfied
+// by the transaction it waited on) and sends the right request.
+func (m *masterModule) issue(addr topology.Addr, store bool, done func()) {
+	c := m.c
+	if c.updateBlock(addr) {
+		m.issueUpdate(addr, store, done)
+		return
+	}
+	st := c.cache.State(addr)
+	if !store && st != cache.Invalid {
+		done() // satisfied by an earlier transaction
+		return
+	}
+	if store {
+		switch st {
+		case cache.Modified:
+			done()
+			return
+		case cache.Exclusive:
+			c.cache.SetState(addr, cache.Modified) // silent upgrade
+			done()
+			return
+		}
+	}
+	kind := msg.ReadShared
+	switch {
+	case store && st == cache.Shared:
+		kind = msg.Ownership
+	case store:
+		kind = msg.ReadExclusive
+	}
+	slot := &mshr{addr: addr, store: store, kind: kind, issuedAt: c.eng.Now(), done: done}
+	m.slots[addr] = slot
+	c.stats.Requests[kind]++
+	m.sendRequest(slot, kind)
+}
+
+// issueUpdate handles accesses to update-protocol blocks: loads are
+// served by the local third-level cache when present (the point of the
+// extension), first touches fetch normally and install the L3 copy, and
+// stores write through to the home.
+func (m *masterModule) issueUpdate(addr topology.Addr, store bool, done func()) {
+	c := m.c
+	p := c.cfg.Params
+	if !store {
+		if c.cache.State(addr) != cache.Invalid {
+			done() // satisfied by a concurrent transaction
+			return
+		}
+		if c.l3[addr] {
+			// Third-level cache hit: one local memory access.
+			c.stats.L3Hits++
+			c.eng.After(p.ProcOverhead+p.MemAccess+p.DirAccess, func() {
+				if v := c.cache.Insert(addr, cache.Shared); v.Writeback && v.Addr.Shared() {
+					m.writeback(v.Addr)
+				}
+				done()
+			})
+			return
+		}
+		slot := &mshr{addr: addr, kind: msg.ReadShared, issuedAt: c.eng.Now(), done: done, installL3: true}
+		m.slots[addr] = slot
+		c.stats.Requests[msg.ReadShared]++
+		m.sendRequest(slot, msg.ReadShared)
+		return
+	}
+	// Write-through with block-granular combining: the first store to a
+	// block broadcasts it; the rest coalesce in the combining buffer.
+	if m.combiningValid && m.combining == addr {
+		c.eng.After(p.CacheHit, done)
+		return
+	}
+	m.combining = addr
+	m.combiningValid = true
+	slot := &mshr{addr: addr, store: true, kind: msg.UpdateWrite, issuedAt: c.eng.Now(), done: done}
+	m.slots[addr] = slot
+	c.stats.Requests[msg.UpdateWrite]++
+	c.stats.UpdateWrites++
+	m.sendRequest(slot, msg.UpdateWrite)
+}
+
+func (m *masterModule) sendRequest(slot *mshr, kind msg.Kind) {
+	c := m.c
+	c.send(&msg.Message{
+		Kind:     kind,
+		OrigKind: kind,
+		Src:      c.cfg.Node,
+		Dest:     directory.Single(slot.addr.Home()),
+		Addr:     slot.addr,
+		Master:   c.cfg.Node,
+		HasData:  kind == msg.UpdateWrite,
+	}, c.cfg.Params.ProcOverhead)
+}
+
+// writeback emits a writeback for an evicted modified block. Writebacks
+// do not occupy MSHR slots and expect no reply.
+func (m *masterModule) writeback(addr topology.Addr) {
+	c := m.c
+	c.stats.Writebacks++
+	c.send(&msg.Message{
+		Kind:     msg.WriteBack,
+		OrigKind: msg.WriteBack,
+		Src:      c.cfg.Node,
+		Dest:     directory.Single(addr.Home()),
+		Addr:     addr,
+		Master:   c.cfg.Node,
+		HasData:  true,
+	}, 0)
+}
+
+// handle consumes a reply from a home.
+func (m *masterModule) handle(rm *msg.Message) {
+	c := m.c
+	slot, ok := m.slots[rm.Addr]
+	if !ok {
+		panic(fmt.Sprintf("core: %v reply %v with no outstanding transaction", c.cfg.Node, rm))
+	}
+	var cost sim.Time
+	if !c.isLocal(rm) {
+		cost = c.cfg.Params.MasterProc
+	}
+	switch rm.Kind {
+	case msg.HomeData:
+		var st cache.LineState
+		switch {
+		case slot.store:
+			st = cache.Modified
+		case rm.Excl:
+			st = cache.Exclusive
+		default:
+			st = cache.Shared
+		}
+		if v := c.cache.Insert(rm.Addr, st); v.Writeback {
+			if v.Addr.Shared() {
+				m.writeback(v.Addr)
+			}
+		}
+		if slot.installL3 {
+			c.l3[rm.Addr] = true
+		}
+	case msg.HomeAck:
+		if slot.kind == msg.UpdateWrite {
+			// Write-through completed: memory holds the data, the local
+			// copy (if any) stays Shared.
+			if c.cache.State(rm.Addr) == cache.Invalid {
+				if v := c.cache.Insert(rm.Addr, cache.Shared); v.Writeback && v.Addr.Shared() {
+					m.writeback(v.Addr)
+				}
+			}
+			break
+		}
+		// Ownership granted without data transfer. If the shared copy
+		// was meanwhile displaced by a replacement, re-allocate the line
+		// (the store data is the processor's own).
+		if c.cache.State(rm.Addr) == cache.Invalid {
+			if v := c.cache.Insert(rm.Addr, cache.Modified); v.Writeback && v.Addr.Shared() {
+				m.writeback(v.Addr)
+			}
+		} else {
+			c.cache.SetState(rm.Addr, cache.Modified)
+		}
+	case msg.Nack:
+		c.stats.Nacks++
+		slot.retries++
+		if slot.retries > c.stats.MaxRetries {
+			c.stats.MaxRetries = slot.retries
+		}
+		c.stats.Retries++
+		c.eng.After(cost+c.cfg.NackDelay, func() { m.retry(slot) })
+		return
+	default:
+		panic(fmt.Sprintf("core: master received %v", rm))
+	}
+	c.stats.Replies++
+	c.eng.After(cost, func() { m.complete(slot) })
+}
+
+// retry re-sends a nacked request, downgrading ownership to
+// read-exclusive if the shared copy has meanwhile been invalidated.
+func (m *masterModule) retry(slot *mshr) {
+	kind := slot.kind
+	if kind == msg.Ownership && m.c.cache.State(slot.addr) == cache.Invalid {
+		kind = msg.ReadExclusive
+		slot.kind = kind
+	}
+	m.sendRequest(slot, kind)
+}
+
+// complete graduates the access, releases the slot, and re-drives any
+// same-block waiters and deferred requests.
+func (m *masterModule) complete(slot *mshr) {
+	c := m.c
+	lat := c.eng.Now() - slot.issuedAt
+	c.stats.Completed++
+	c.stats.LatencySum += lat
+	if lat > c.stats.LatencyMax {
+		c.stats.LatencyMax = lat
+	}
+	m.recordLatency(slot.kind, lat)
+	delete(m.slots, slot.addr)
+	slot.done()
+	waiters := slot.waiters
+	slot.waiters = nil
+	for _, w := range waiters {
+		m.request(w.addr, w.store, w.done)
+	}
+	for len(m.deferred) > 0 && len(m.slots) < topology.MaxOutstanding {
+		d := m.deferred[0]
+		m.deferred = m.deferred[1:]
+		m.request(d.addr, d.store, d.done)
+	}
+}

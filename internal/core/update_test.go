@@ -1,0 +1,165 @@
+package core
+
+import (
+	"testing"
+
+	"cenju4/internal/cache"
+	"cenju4/internal/network"
+	"cenju4/internal/sim"
+	"cenju4/internal/topology"
+)
+
+// newUpdateCluster builds a cluster where every block homed at node 0
+// with offset below 4 KB runs under the update protocol.
+func newUpdateCluster(t testing.TB, nodes int, multicast bool) *cluster {
+	t.Helper()
+	updateMode := func(a topology.Addr) bool {
+		return a.Home() == 0 && a.Offset() < 4096
+	}
+	cl := &cluster{eng: sim.NewEngine()}
+	cl.net = network.New(cl.eng, network.Config{Nodes: nodes, Multicast: multicast})
+	cl.ctrls = make([]*Controller, nodes)
+	for i := 0; i < nodes; i++ {
+		cl.ctrls[i] = New(cl.eng, cl.net, Config{
+			Node:       topology.NodeID(i),
+			Nodes:      nodes,
+			UpdateMode: updateMode,
+		})
+		cl.net.Attach(topology.NodeID(i), cl.ctrls[i].Deliver)
+	}
+	return cl
+}
+
+func TestUpdateWritePopulatesAllL3s(t *testing.T) {
+	cl := newUpdateCluster(t, 16, true)
+	a := blockAt(0, 1)
+	cl.access(t, 3, a, true) // update write by node 3
+	// Every node's L3 now holds the block: subsequent loads are local.
+	for i := 0; i < 16; i++ {
+		if !cl.ctrls[i].l3[a] {
+			t.Fatalf("node %d L3 missing the block", i)
+		}
+	}
+	st := cl.ctrls[0].Stats()
+	if st.HomeRequests == 0 {
+		t.Fatal("no home request recorded")
+	}
+	if cl.ctrls[3].Stats().UpdateWrites != 1 {
+		t.Fatalf("UpdateWrites = %d", cl.ctrls[3].Stats().UpdateWrites)
+	}
+}
+
+func TestUpdateLoadSatisfiedLocally(t *testing.T) {
+	cl := newUpdateCluster(t, 16, true)
+	a := blockAt(0, 1)
+	cl.access(t, 3, a, true) // populate L3s everywhere
+	// A load by a distant node is now satisfied by its own L3 at
+	// local-memory cost — the extension's goal: scalable load latency.
+	lat := cl.access(t, 9, a, false)
+	if lat != 610 { // ProcOverhead + MemAccess + DirAccess
+		t.Fatalf("L3 load latency = %v, want 610 (local memory)", lat)
+	}
+	if cl.ctrls[9].Stats().L3Hits != 1 {
+		t.Fatalf("L3Hits = %d", cl.ctrls[9].Stats().L3Hits)
+	}
+	if st := cl.ctrls[9].Cache().State(a); st != cache.Shared {
+		t.Fatalf("L2 state after L3 fill = %v, want S", st)
+	}
+}
+
+func TestUpdateFirstTouchFetchesRemotely(t *testing.T) {
+	cl := newUpdateCluster(t, 16, true)
+	a := blockAt(0, 1)
+	lat := cl.access(t, 5, a, false) // nothing written yet: remote fetch
+	if lat <= 610 {
+		t.Fatalf("first-touch latency = %v, want a remote transaction", lat)
+	}
+	if !cl.ctrls[5].l3[a] {
+		t.Fatal("first touch did not install the L3 copy")
+	}
+	// Second load after eviction of the L2 copy hits the L3.
+	cl.ctrls[5].Cache().SetState(a, cache.Invalid)
+	lat = cl.access(t, 5, a, false)
+	if lat != 610 {
+		t.Fatalf("post-install load = %v, want 610", lat)
+	}
+}
+
+func TestUpdateKeepsSharedCopiesValid(t *testing.T) {
+	cl := newUpdateCluster(t, 16, true)
+	a := blockAt(0, 1)
+	cl.access(t, 1, a, false) // reader caches the block
+	cl.access(t, 2, a, true)  // writer updates: no invalidation
+	if st := cl.ctrls[1].Cache().State(a); st != cache.Shared {
+		t.Fatalf("reader's copy = %v after update, want S (updated in place)", st)
+	}
+	// Reader's next load is a pure L2 hit: zero transaction latency.
+	if lat := cl.access(t, 1, a, false); lat != 0 {
+		t.Fatalf("re-read latency = %v, want 0", lat)
+	}
+}
+
+func TestUpdateWritesSerializeViaQueue(t *testing.T) {
+	const n = 16
+	cl := newUpdateCluster(t, n, true)
+	a := blockAt(0, 1)
+	completed := 0
+	for i := 0; i < n; i++ {
+		cl.ctrls[i].Request(a, true, func() { completed++ })
+	}
+	cl.eng.Run()
+	if completed != n {
+		t.Fatalf("%d/%d update writes completed", completed, n)
+	}
+	if cl.ctrls[0].Stats().QueuedRequests == 0 {
+		t.Fatal("concurrent updates did not exercise the queue")
+	}
+	e := cl.ctrls[0].Memory().Entry(a)
+	if e.State().Pending() || e.Reserved() {
+		t.Fatalf("directory left pending: %v", *e)
+	}
+}
+
+func TestUpdateSinglecastMode(t *testing.T) {
+	cl := newUpdateCluster(t, 16, false)
+	a := blockAt(0, 1)
+	cl.access(t, 3, a, true)
+	for i := 0; i < 16; i++ {
+		if !cl.ctrls[i].l3[a] {
+			t.Fatalf("node %d L3 missing under singlecast", i)
+		}
+	}
+}
+
+func TestNonUpdateBlocksUnaffected(t *testing.T) {
+	cl := newUpdateCluster(t, 16, true)
+	b := blockAt(0, 1024) // offset 128 KB: outside the update window
+	cl.access(t, 1, b, true)
+	if st := cl.ctrls[1].Cache().State(b); st != cache.Modified {
+		t.Fatalf("regular store = %v, want M", st)
+	}
+	if cl.ctrls[1].Stats().UpdateWrites != 0 {
+		t.Fatal("regular block used update protocol")
+	}
+}
+
+// Mixed update and invalidate traffic on different blocks of the same
+// home must not interfere.
+func TestUpdateAndInvalidateCoexist(t *testing.T) {
+	cl := newUpdateCluster(t, 16, true)
+	u := blockAt(0, 1)    // update-mode
+	v := blockAt(0, 1024) // regular
+	for i := 1; i <= 4; i++ {
+		cl.access(t, topology.NodeID(i), v, false)
+	}
+	done := 0
+	cl.ctrls[2].Request(u, true, func() { done++ })
+	cl.ctrls[3].Request(v, true, func() { done++ })
+	cl.eng.Run()
+	if done != 2 {
+		t.Fatalf("%d/2 completed", done)
+	}
+	if st := cl.ctrls[1].Cache().State(v); st != cache.Invalid {
+		t.Fatalf("regular block sharer = %v, want I", st)
+	}
+}

@@ -1,0 +1,307 @@
+// Package cpu models the R10000 processor of a Cenju-4 node executing a
+// workload program: a stream of memory accesses, compute batches, and
+// synchronization operations.
+//
+// Cache hits and compute never enter the event engine — the processor
+// accumulates their cost locally and only schedules an event when it
+// blocks (coherence miss, private-memory miss, message wait, barrier) or
+// when its accumulated quantum expires (so concurrent processors
+// interleave fairly). This keeps application-scale simulations tractable
+// while every coherence transaction remains fully event-driven.
+package cpu
+
+import (
+	"fmt"
+
+	"cenju4/internal/cache"
+	"cenju4/internal/core"
+	"cenju4/internal/sim"
+	"cenju4/internal/timing"
+	"cenju4/internal/topology"
+)
+
+// OpKind enumerates program operations.
+type OpKind uint8
+
+const (
+	// OpCompute executes N instructions with no memory traffic.
+	OpCompute OpKind = iota
+	// OpLoad reads Addr (N = 1 implied).
+	OpLoad
+	// OpStore writes Addr.
+	OpStore
+	// OpBarrier joins barrier N (all nodes must arrive).
+	OpBarrier
+	// OpSend transmits N bytes to node Dst through the message-passing
+	// mechanism (private memory; no coherence traffic).
+	OpSend
+	// OpRecv blocks until a message from node Dst arrives.
+	OpRecv
+	// OpAllReduce performs a global reduction of N bytes.
+	OpAllReduce
+)
+
+// Op is one program operation.
+type Op struct {
+	Kind OpKind
+	Addr topology.Addr
+	N    uint64
+	Dst  topology.NodeID
+}
+
+// Program supplies a node's operation stream. Next returns false when
+// the program is finished. Programs are single-use iterators.
+type Program interface {
+	Next() (Op, bool)
+}
+
+// SliceProgram adapts a materialized op slice (used by tests and small
+// workloads).
+type SliceProgram struct {
+	Ops []Op
+	pos int
+}
+
+func (p *SliceProgram) Next() (Op, bool) {
+	if p.pos >= len(p.Ops) {
+		return Op{}, false
+	}
+	op := p.Ops[p.pos]
+	p.pos++
+	return op, true
+}
+
+// FuncProgram adapts a generator function.
+type FuncProgram func() (Op, bool)
+
+func (f FuncProgram) Next() (Op, bool) { return f() }
+
+// Sync provides the blocking synchronization and message-passing
+// operations (implemented by the mpi package). Collectives match up by
+// per-node arrival order: every program must issue its barriers and
+// reductions in the same global sequence, as MPI programs do.
+type Sync interface {
+	// Barrier calls done when every node has arrived at its next barrier.
+	Barrier(node topology.NodeID, done func())
+	// Send transmits n bytes from src to dst (non-blocking).
+	Send(src, dst topology.NodeID, n uint64)
+	// Recv calls done when a message from src has arrived at dst.
+	Recv(dst, src topology.NodeID, done func())
+	// AllReduce calls done when the node's next global reduction of n
+	// bytes completes.
+	AllReduce(node topology.NodeID, n uint64, done func())
+}
+
+// Stats aggregates one processor's execution characteristics (the
+// columns of Tables 3 and 4).
+type Stats struct {
+	Instructions uint64 // executed instructions (incl. memory accesses)
+	MemAccesses  uint64
+	// Memory access breakdown.
+	PrivateAccesses uint64
+	LocalAccesses   uint64 // shared, homed at this node
+	RemoteAccesses  uint64 // shared, homed elsewhere
+	// Secondary cache miss breakdown (store-to-shared counts as a miss).
+	Misses        uint64
+	PrivateMisses uint64
+	LocalMisses   uint64
+	RemoteMisses  uint64
+	// Time breakdown.
+	BusyTime sim.Time // compute + memory (non-sync)
+	SyncTime sim.Time // barriers, recv waits, reductions
+	Finished bool
+	EndTime  sim.Time
+}
+
+// MissRatio returns misses / memory accesses.
+func (s Stats) MissRatio() float64 {
+	if s.MemAccesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.MemAccesses)
+}
+
+// CPU executes one node's program.
+type CPU struct {
+	node    topology.NodeID
+	eng     *sim.Engine
+	ctrl    *core.Controller
+	sync    Sync
+	params  timing.Params
+	nsPerIn sim.Time
+	quantum sim.Time
+
+	prog  Program
+	stats Stats
+	done  func()
+}
+
+// Config parameterizes a CPU.
+type Config struct {
+	Node topology.NodeID
+	// NsPerInstr is the average non-memory instruction cost (default 5:
+	// a ~200 MHz R10000 sustaining ~1 instruction per cycle).
+	NsPerInstr sim.Time
+	// Quantum bounds how much local time the processor accumulates
+	// before yielding to the event engine (default 20 us).
+	Quantum sim.Time
+	// Params supplies hit/miss latency constants.
+	Params timing.Params
+}
+
+// New builds a CPU bound to a controller and sync provider.
+func New(eng *sim.Engine, ctrl *core.Controller, sync Sync, cfg Config) *CPU {
+	if cfg.NsPerInstr == 0 {
+		cfg.NsPerInstr = 5
+	}
+	if cfg.Quantum == 0 {
+		cfg.Quantum = 20000
+	}
+	if cfg.Params == (timing.Params{}) {
+		cfg.Params = timing.Default()
+	}
+	return &CPU{
+		node:    cfg.Node,
+		eng:     eng,
+		ctrl:    ctrl,
+		sync:    sync,
+		params:  cfg.Params,
+		nsPerIn: cfg.NsPerInstr,
+		quantum: cfg.Quantum,
+	}
+}
+
+// Stats returns the execution counters.
+func (c *CPU) Stats() Stats { return c.stats }
+
+// Run starts executing prog; done fires when the program ends.
+func (c *CPU) Run(prog Program, done func()) {
+	c.prog = prog
+	c.done = done
+	c.eng.After(0, c.step)
+}
+
+// step consumes operations until the processor must block or its
+// quantum expires.
+func (c *CPU) step() {
+	var acc sim.Time
+	for {
+		op, ok := c.prog.Next()
+		if !ok {
+			c.eng.After(acc, func() {
+				c.stats.BusyTime += acc
+				c.stats.Finished = true
+				c.stats.EndTime = c.eng.Now()
+				c.done()
+			})
+			return
+		}
+		switch op.Kind {
+		case OpCompute:
+			c.stats.Instructions += op.N
+			acc += sim.Time(op.N) * c.nsPerIn
+
+		case OpLoad, OpStore:
+			c.stats.Instructions++
+			c.stats.MemAccesses++
+			store := op.Kind == OpStore
+			if !op.Addr.Shared() {
+				c.stats.PrivateAccesses++
+				if hit := c.privateAccess(op.Addr, store); hit {
+					acc += c.params.CacheHit
+				} else {
+					c.stats.Misses++
+					c.stats.PrivateMisses++
+					acc += c.params.ProcOverhead + c.params.MemAccess
+				}
+				continue
+			}
+			local := op.Addr.Home() == c.node
+			if local {
+				c.stats.LocalAccesses++
+			} else {
+				c.stats.RemoteAccesses++
+			}
+			if _, hit := c.ctrl.Cache().Access(op.Addr, store); hit {
+				acc += c.params.CacheHit
+				continue
+			}
+			c.stats.Misses++
+			if local {
+				c.stats.LocalMisses++
+			} else {
+				c.stats.RemoteMisses++
+			}
+			// Block on the coherence transaction.
+			c.stats.BusyTime += acc
+			c.eng.After(acc, func() {
+				c.ctrl.Request(op.Addr, store, func() { c.afterBlocking(0) })
+			})
+			return
+
+		case OpBarrier:
+			c.blockOnSync(acc, func(done func()) { c.sync.Barrier(c.node, done) })
+			return
+		case OpRecv:
+			c.blockOnSync(acc, func(done func()) { c.sync.Recv(c.node, op.Dst, done) })
+			return
+		case OpAllReduce:
+			c.blockOnSync(acc, func(done func()) { c.sync.AllReduce(c.node, op.N, done) })
+			return
+		case OpSend:
+			c.stats.Instructions++
+			// Charge the software send overhead locally; transfer time is
+			// the receiver's problem.
+			acc += c.params.ProcOverhead
+			dst, n := op.Dst, op.N
+			c.eng.After(acc, func() { c.sync.Send(c.node, dst, n) })
+
+		default:
+			panic(fmt.Sprintf("cpu: unknown op kind %d", op.Kind))
+		}
+		if acc >= c.quantum {
+			c.stats.BusyTime += acc
+			c.eng.After(acc, func() { c.afterBlocking(0) })
+			return
+		}
+	}
+}
+
+// blockOnSync charges accumulated busy time, then enters a sync wait
+// whose duration counts as synchronization time.
+func (c *CPU) blockOnSync(acc sim.Time, enter func(done func())) {
+	c.stats.BusyTime += acc
+	c.eng.After(acc, func() {
+		start := c.eng.Now()
+		enter(func() {
+			c.stats.SyncTime += c.eng.Now() - start
+			c.step()
+		})
+	})
+}
+
+// afterBlocking resumes execution after a blocking miss or quantum.
+func (c *CPU) afterBlocking(_ int) { c.step() }
+
+// privateAccess simulates the private-memory hierarchy: private blocks
+// live in the same secondary cache; evicted shared victims raise
+// writebacks through the controller, evicted private victims cost
+// nothing extra (their writeback is local and overlapped).
+func (c *CPU) privateAccess(addr topology.Addr, store bool) bool {
+	st, hit := c.ctrl.Cache().Access(addr, store)
+	if hit {
+		return true
+	}
+	// Private blocks never need ownership transactions: a store "miss"
+	// on a Shared-state private line cannot occur (they are inserted
+	// Exclusive/Modified), so st is Invalid here.
+	_ = st
+	ins := cache.Modified
+	if !store {
+		ins = cache.Exclusive
+	}
+	if v := c.ctrl.Cache().Insert(addr, ins); v.Writeback && v.Addr.Shared() {
+		c.ctrl.EvictShared(v.Addr)
+	}
+	return false
+}

@@ -1,0 +1,176 @@
+package directory
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"cenju4/internal/topology"
+)
+
+func TestEncodeNodeFigure3(t *testing.T) {
+	// Figure 3's worked example: the encodings of nodes 0, 4, 5, 32, 164.
+	cases := []struct {
+		node           topology.NodeID
+		f1, f2, f3, f4 uint64
+	}{
+		{0, 0b0001, 0b0001, 0b01, 1 << 0},
+		{4, 0b0001, 0b0001, 0b01, 1 << 4},
+		{5, 0b0001, 0b0001, 0b01, 1 << 5},
+		{32, 0b0001, 0b0001, 0b10, 1 << 0},
+		{164, 0b0001, 0b0100, 0b10, 1 << 4},
+	}
+	for _, c := range cases {
+		p := EncodeNode(c.node)
+		f1, f2, f3, f4 := p.fields()
+		if f1 != c.f1 || f2 != c.f2 || f3 != c.f3 || f4 != c.f4 {
+			t.Errorf("EncodeNode(%d) fields = %04b %04b %02b %032b, want %04b %04b %02b %032b",
+				c.node, f1, f2, f3, f4, c.f1, c.f2, c.f3, c.f4)
+		}
+	}
+}
+
+func TestBitPatternFigure3Union(t *testing.T) {
+	// ORing nodes 0, 4, 5, 32, 164 must represent exactly the twelve
+	// nodes listed in Figure 3(c).
+	var p BitPattern
+	for _, n := range []topology.NodeID{0, 4, 5, 32, 164} {
+		p.Add(n)
+	}
+	want := []topology.NodeID{0, 4, 5, 32, 36, 37, 128, 132, 133, 160, 164, 165}
+	if p.Count() != len(want) {
+		t.Fatalf("Count() = %d, want %d", p.Count(), len(want))
+	}
+	got := p.Members(nil, topology.MaxNodes)
+	if len(got) != len(want) {
+		t.Fatalf("Members() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Members() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestBitPatternEmpty(t *testing.T) {
+	var p BitPattern
+	if !p.Empty() || p.Count() != 0 {
+		t.Fatal("zero BitPattern not empty")
+	}
+	if got := p.Members(nil, 1024); len(got) != 0 {
+		t.Fatalf("empty Members() = %v", got)
+	}
+}
+
+func TestBitPatternSingleNodeExact(t *testing.T) {
+	for n := 0; n < topology.MaxNodes; n += 7 {
+		p := EncodeNode(topology.NodeID(n))
+		if p.Count() != 1 {
+			t.Fatalf("single node %d Count() = %d", n, p.Count())
+		}
+		m := p.Members(nil, topology.MaxNodes)
+		if len(m) != 1 || m[0] != topology.NodeID(n) {
+			t.Fatalf("single node %d Members() = %v", n, m)
+		}
+	}
+}
+
+// Property: the represented set always contains every added node
+// (conservative superset — never loses a sharer).
+func TestPropertyBitPatternSuperset(t *testing.T) {
+	f := func(raw []uint16) bool {
+		var p BitPattern
+		added := map[topology.NodeID]bool{}
+		for _, r := range raw {
+			n := topology.NodeID(r % topology.MaxNodes)
+			p.Add(n)
+			added[n] = true
+		}
+		for n := range added {
+			if !p.Contains(n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Count equals the length of Members with no limit, and
+// Members is sorted ascending with no duplicates.
+func TestPropertyBitPatternCountMatchesMembers(t *testing.T) {
+	f := func(raw []uint16) bool {
+		var p BitPattern
+		for _, r := range raw {
+			p.Add(topology.NodeID(r % topology.MaxNodes))
+		}
+		m := p.Members(nil, topology.MaxNodes)
+		if len(m) != p.Count() {
+			return false
+		}
+		if !sort.SliceIsSorted(m, func(i, j int) bool { return m[i] < m[j] }) {
+			return false
+		}
+		for i := 1; i < len(m); i++ {
+			if m[i] == m[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: within a 32-node machine the bit-pattern is precise — the
+// paper's guarantee (b): only the 32-bit field varies.
+func TestPropertyBitPatternPreciseUpTo32Nodes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		var p BitPattern
+		added := map[topology.NodeID]bool{}
+		k := 1 + rng.Intn(32)
+		for i := 0; i < k; i++ {
+			n := topology.NodeID(rng.Intn(32))
+			p.Add(n)
+			added[n] = true
+		}
+		if p.Count() != len(added) {
+			t.Fatalf("32-node machine: %d sharers represented as %d", len(added), p.Count())
+		}
+	}
+}
+
+func TestBitPatternMembersLimit(t *testing.T) {
+	var p BitPattern
+	p.Add(5)
+	p.Add(900)
+	m := p.Members(nil, 64) // machine of 64 nodes: decoded set clipped
+	for _, n := range m {
+		if n >= 64 {
+			t.Fatalf("Members(limit=64) returned node %d", n)
+		}
+	}
+}
+
+func TestEncodeNodeOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EncodeNode(1024) did not panic")
+		}
+	}()
+	EncodeNode(1024)
+}
+
+func TestBitPatternUnion(t *testing.T) {
+	a := EncodeNode(3)
+	b := EncodeNode(900)
+	u := a.Union(b)
+	if !u.Contains(3) || !u.Contains(900) {
+		t.Fatal("union lost a member")
+	}
+}

@@ -1,0 +1,155 @@
+package directory
+
+import "fmt"
+
+// CostProfile quantifies one directory scheme's scalability — the two
+// columns of Table 1 made concrete. StorageBits is the directory
+// storage per memory block (plus any per-cache-line state the scheme
+// keeps in the caches themselves), and EnumAccesses is the number of
+// sequential directory/memory/cache accesses needed to identify every
+// node caching a block with k true sharers — the operation on a store's
+// critical path.
+type CostProfile struct {
+	Name string
+	// StorageBits is the per-block directory storage for a machine of
+	// n nodes.
+	StorageBits func(n int) int
+	// EnumAccesses is the sequential accesses to enumerate k sharers.
+	EnumAccesses func(k int) int
+	// Precise reports whether the scheme records sharers exactly.
+	Precise bool
+	// HardwareScalable: storage independent of machine size.
+	HardwareScalable bool
+	// AccessScalable: enumeration cost independent of sharer count.
+	AccessScalable bool
+	Note           string
+}
+
+// CostProfiles returns the quantitative version of Table 1's six rows.
+func CostProfiles() []CostProfile {
+	return []CostProfile{
+		{
+			Name:             "Full Map",
+			StorageBits:      func(n int) int { return n },
+			EnumAccesses:     func(int) int { return 1 },
+			Precise:          true,
+			HardwareScalable: false,
+			AccessScalable:   true,
+			Note:             "one bit per node: storage grows with the machine",
+		},
+		{
+			Name: "Chained (SCI)",
+			// Head pointer at the memory plus forward/backward links in
+			// every cache line.
+			StorageBits:      func(n int) int { return log2(n) },
+			EnumAccesses:     func(k int) int { return 1 + k },
+			Precise:          true,
+			HardwareScalable: true,
+			AccessScalable:   false,
+			Note:             "walks the sharing chain through the caches",
+		},
+		{
+			Name:        "LimitLESS",
+			StorageBits: func(n int) int { return MaxPointers * log2(n) },
+			EnumAccesses: func(k int) int {
+				if k <= MaxPointers {
+					return 1
+				}
+				// Software trap: the processor reads the overflow list
+				// from memory, one entry at a time.
+				return 1 + softwareTrapCost + (k - MaxPointers)
+			},
+			Precise:          true,
+			HardwareScalable: true,
+			AccessScalable:   false,
+			Note:             "software handler beyond the pointer limit",
+		},
+		{
+			Name:             "Dynamic Pointer",
+			StorageBits:      func(n int) int { return log2(n) + dynPtrEntryBits },
+			EnumAccesses:     func(k int) int { return 1 + k },
+			Precise:          true,
+			HardwareScalable: true,
+			AccessScalable:   false,
+			Note:             "pointer list linked through a memory heap",
+		},
+		{
+			Name: "Origin (Full Map + Coarse Vector)",
+			StorageBits: func(n int) int {
+				if n <= 64 {
+					return n // full map regime
+				}
+				return 64 // coarse vector regime
+			},
+			EnumAccesses:     func(int) int { return 1 },
+			Precise:          false,
+			HardwareScalable: true,
+			AccessScalable:   true,
+			Note:             "imprecise beyond the vector resolution",
+		},
+		{
+			Name:             "Cenju-4 (Pointer + Bit Pattern)",
+			StorageBits:      func(int) int { return BitPatternBits },
+			EnumAccesses:     func(int) int { return 1 },
+			Precise:          false,
+			HardwareScalable: true,
+			AccessScalable:   true,
+			Note:             "precise to 4 sharers; one access at any sharing degree",
+		},
+	}
+}
+
+const (
+	// softwareTrapCost approximates a LimitLESS trap entry/exit in
+	// directory-access units.
+	softwareTrapCost = 20
+	// dynPtrEntryBits is a dynamic-pointer list entry (next pointer +
+	// node id).
+	dynPtrEntryBits = 32
+)
+
+func log2(n int) int {
+	l := 0
+	for v := 1; v < n; v <<= 1 {
+		l++
+	}
+	if l == 0 {
+		return 1
+	}
+	return l
+}
+
+// CostRow is one rendered comparison point.
+type CostRow struct {
+	Scheme        string
+	Bits1024      int // storage per block at 1024 nodes
+	Enum1         int // accesses with 1 sharer
+	Enum32        int
+	Enum1024      int
+	Precise       bool
+	HardwareScale bool
+	AccessScale   bool
+}
+
+// CostComparison evaluates every profile at 1024 nodes.
+func CostComparison() []CostRow {
+	var rows []CostRow
+	for _, p := range CostProfiles() {
+		rows = append(rows, CostRow{
+			Scheme:        p.Name,
+			Bits1024:      p.StorageBits(1024),
+			Enum1:         p.EnumAccesses(1),
+			Enum32:        p.EnumAccesses(32),
+			Enum1024:      p.EnumAccesses(1024),
+			Precise:       p.Precise,
+			HardwareScale: p.HardwareScalable,
+			AccessScale:   p.AccessScalable,
+		})
+	}
+	return rows
+}
+
+func (r CostRow) String() string {
+	return fmt.Sprintf("%s: %db, enum 1/32/1024 sharers = %d/%d/%d accesses",
+		r.Scheme, r.Bits1024, r.Enum1, r.Enum32, r.Enum1024)
+}

@@ -1,0 +1,80 @@
+package directory
+
+import "testing"
+
+func TestCostProfilesMatchTable1(t *testing.T) {
+	profiles := CostProfiles()
+	if len(profiles) != 6 {
+		t.Fatalf("%d profiles, want 6", len(profiles))
+	}
+	for _, p := range profiles {
+		// Table 1's two columns must be consistent with the quantitative
+		// model.
+		if p.HardwareScalable {
+			// Storage at 1024 nodes must not exceed the Cenju-4 entry's
+			// node-map budget by an order of magnitude.
+			if bits := p.StorageBits(1024); bits > 128 {
+				t.Errorf("%s: %d bits at 1024 nodes but claims hardware scalability", p.Name, bits)
+			}
+		} else if p.StorageBits(1024) <= p.StorageBits(64) {
+			t.Errorf("%s: storage does not grow but claims unscalable hardware", p.Name)
+		}
+		if p.AccessScalable {
+			if p.EnumAccesses(1024) != p.EnumAccesses(1) {
+				t.Errorf("%s: enumeration grows with sharers but claims access scalability", p.Name)
+			}
+		} else if p.EnumAccesses(1024) <= p.EnumAccesses(4) {
+			t.Errorf("%s: enumeration does not grow but claims unscalable access", p.Name)
+		}
+	}
+}
+
+func TestCostComparisonRows(t *testing.T) {
+	rows := CostComparison()
+	if len(rows) != 6 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	byName := map[string]CostRow{}
+	for _, r := range rows {
+		byName[r.Scheme] = r
+		if r.String() == "" {
+			t.Error("empty row string")
+		}
+	}
+	fm := byName["Full Map"]
+	if fm.Bits1024 != 1024 || fm.Enum1024 != 1 {
+		t.Errorf("full map row = %+v", fm)
+	}
+	cj := byName["Cenju-4 (Pointer + Bit Pattern)"]
+	if cj.Bits1024 != BitPatternBits || cj.Enum1024 != 1 {
+		t.Errorf("cenju-4 row = %+v", cj)
+	}
+	sci := byName["Chained (SCI)"]
+	if sci.Enum1024 != 1025 {
+		t.Errorf("SCI enumeration = %d, want 1+k", sci.Enum1024)
+	}
+	ll := byName["LimitLESS"]
+	if ll.Enum1 != 1 || ll.Enum32 <= 1 {
+		t.Errorf("LimitLESS enumeration = %+v", ll)
+	}
+	// Only the two access-scalable schemes enumerate in one access at
+	// full sharing.
+	oneAccess := 0
+	for _, r := range rows {
+		if r.Enum1024 == 1 && r.Bits1024 <= 128 {
+			oneAccess++
+		}
+	}
+	if oneAccess != 2 {
+		t.Errorf("%d schemes are fully scalable, want 2 (Origin, Cenju-4)", oneAccess)
+	}
+}
+
+func TestLog2Helper(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 1, 4: 2, 1024: 10}
+	for n, want := range cases {
+		if got := log2(n); got != want {
+			t.Errorf("log2(%d) = %d, want %d", n, got, want)
+		}
+	}
+}

@@ -1,0 +1,331 @@
+package directory
+
+import (
+	"fmt"
+
+	"cenju4/internal/topology"
+)
+
+// State is the coherence state of a memory block, stored in the
+// directory entry. Clean and Dirty are stable; the Pending states mark
+// blocks with an outstanding transaction (requests targeting them are
+// queued, never NACKed).
+type State uint8
+
+const (
+	// Clean: one or more nodes may cache the data; memory is valid.
+	Clean State = iota
+	// Dirty: exactly one node caches the data; memory may be stale.
+	Dirty
+	// PendingShared: a read-shared request has been forwarded to the
+	// dirty slave and its reply is awaited.
+	PendingShared
+	// PendingExclusive: a read-exclusive transaction is in flight
+	// (invalidations multicast, or forwarded to the dirty slave).
+	PendingExclusive
+	// PendingInvalidate: an ownership transaction's invalidations are in
+	// flight.
+	PendingInvalidate
+	// PendingUpdate: an update-protocol write's data multicast is in
+	// flight (the Section 4.2.3 extension; not part of the original
+	// Cenju-4 protocol).
+	PendingUpdate
+)
+
+// Pending reports whether s is one of the three pending states.
+func (s State) Pending() bool { return s >= PendingShared }
+
+func (s State) String() string {
+	switch s {
+	case Clean:
+		return "C"
+	case Dirty:
+		return "D"
+	case PendingShared:
+		return "Ps"
+	case PendingExclusive:
+		return "Pe"
+	case PendingInvalidate:
+		return "Pi"
+	case PendingUpdate:
+		return "Pu"
+	}
+	return fmt.Sprintf("State(%d)", uint8(s))
+}
+
+// Entry is the 64-bit Cenju-4 directory entry:
+//
+//	bit  63    : reservation bit (a queued request waits on this block)
+//	bits 62-60 : block state
+//	bit  59    : node-map format (0 = pointer, 1 = bit-pattern)
+//	bits 58-0  : node map
+//
+// In pointer format the map holds a 3-bit sharer count (bits 42-40) and
+// up to four 10-bit node pointers (bits 39-0). In bit-pattern format the
+// low 42 bits hold a BitPattern. The entry never switches back from
+// bit-pattern to pointer format except through MapClear/MapSetOnly,
+// mirroring the hardware.
+type Entry uint64
+
+const (
+	reservedBit = 63
+	stateShift  = 60
+	stateMask   = 0x7
+	formatBit   = 59
+
+	ptrCountShift = 40
+	ptrCountMask  = 0x7
+	ptrWidth      = 10
+	ptrMask       = 1<<ptrWidth - 1
+
+	// MaxPointers is the number of node pointers held before the entry
+	// switches to the bit-pattern structure.
+	MaxPointers = 4
+
+	mapMask = 1<<59 - 1
+)
+
+// Reserved reports the reservation bit.
+func (e Entry) Reserved() bool { return e>>reservedBit&1 == 1 }
+
+// SetReserved sets or clears the reservation bit.
+func (e *Entry) SetReserved(v bool) {
+	if v {
+		*e |= 1 << reservedBit
+	} else {
+		*e &^= 1 << reservedBit
+	}
+}
+
+// State returns the block state.
+func (e Entry) State() State { return State(e >> stateShift & stateMask) }
+
+// SetState stores the block state.
+func (e *Entry) SetState(s State) {
+	*e = *e&^(stateMask<<stateShift) | Entry(s)<<stateShift
+}
+
+// UsesBitPattern reports whether the node map is in bit-pattern format.
+func (e Entry) UsesBitPattern() bool { return e>>formatBit&1 == 1 }
+
+// MapClear empties the node map and returns it to pointer format.
+func (e *Entry) MapClear() { *e &^= 1<<formatBit | mapMask }
+
+// MapSetOnly resets the node map to record exactly node n (pointer
+// format). Used when the home grants an exclusive copy.
+func (e *Entry) MapSetOnly(n topology.NodeID) {
+	e.MapClear()
+	e.MapAdd(n)
+}
+
+// pointers returns the pointer-format sharer list. Only valid when
+// !UsesBitPattern().
+func (e Entry) pointers() []topology.NodeID {
+	cnt := int(e >> ptrCountShift & ptrCountMask)
+	out := make([]topology.NodeID, 0, cnt)
+	for i := 0; i < cnt; i++ {
+		out = append(out, topology.NodeID(e>>(i*ptrWidth)&ptrMask))
+	}
+	return out
+}
+
+// MapAdd records node n as a sharer. In pointer format a fifth distinct
+// sharer triggers the dynamic switch to the bit-pattern structure,
+// re-encoding the four pointers plus n.
+func (e *Entry) MapAdd(n topology.NodeID) {
+	if n >= topology.MaxNodes {
+		panic(fmt.Sprintf("directory: node %d out of range", n))
+	}
+	if e.UsesBitPattern() {
+		bp := e.bitPattern()
+		bp.Add(n)
+		e.setBitPattern(bp)
+		return
+	}
+	cnt := int(*e >> ptrCountShift & ptrCountMask)
+	for i := 0; i < cnt; i++ {
+		if topology.NodeID(*e>>(i*ptrWidth)&ptrMask) == n {
+			return // already recorded
+		}
+	}
+	if cnt < MaxPointers {
+		*e = *e&^(ptrCountMask<<ptrCountShift) |
+			Entry(cnt+1)<<ptrCountShift |
+			Entry(n)<<(cnt*ptrWidth)
+		return
+	}
+	// Dynamic switch: pointer structure is full.
+	var bp BitPattern
+	for _, p := range e.pointers() {
+		bp.Add(p)
+	}
+	bp.Add(n)
+	*e &^= mapMask
+	*e |= 1 << formatBit
+	e.setBitPattern(bp)
+}
+
+func (e Entry) bitPattern() BitPattern {
+	return BitPattern(e & (1<<BitPatternBits - 1))
+}
+
+func (e *Entry) setBitPattern(bp BitPattern) {
+	*e = *e&^Entry(1<<BitPatternBits-1) | Entry(bp)
+}
+
+// MapEmpty reports whether the node map represents no node.
+func (e Entry) MapEmpty() bool {
+	if e.UsesBitPattern() {
+		return e.bitPattern().Empty()
+	}
+	return e>>ptrCountShift&ptrCountMask == 0
+}
+
+// MapContains reports whether n is in the represented set (possibly a
+// superset of the true sharers in bit-pattern format).
+func (e Entry) MapContains(n topology.NodeID) bool {
+	if e.UsesBitPattern() {
+		return e.bitPattern().Contains(n)
+	}
+	cnt := int(e >> ptrCountShift & ptrCountMask)
+	for i := 0; i < cnt; i++ {
+		if topology.NodeID(e>>(i*ptrWidth)&ptrMask) == n {
+			return true
+		}
+	}
+	return false
+}
+
+// MapCount returns the size of the represented set.
+func (e Entry) MapCount() int {
+	if e.UsesBitPattern() {
+		return e.bitPattern().Count()
+	}
+	return int(e >> ptrCountShift & ptrCountMask)
+}
+
+// MapIsOnly reports whether the represented set is empty or exactly
+// {n} — the "no node or only the master is registered" test of the
+// protocol.
+func (e Entry) MapIsOnly(n topology.NodeID) bool {
+	switch e.MapCount() {
+	case 0:
+		return true
+	case 1:
+		return e.MapContains(n)
+	default:
+		return false
+	}
+}
+
+// MapHasOthers reports whether the represented set contains any node
+// other than n.
+func (e Entry) MapHasOthers(n topology.NodeID) bool {
+	c := e.MapCount()
+	if c == 0 {
+		return false
+	}
+	if c > 1 {
+		return true
+	}
+	return !e.MapContains(n)
+}
+
+// MapMembers appends the represented node set to dst, restricted to
+// nodes below limit (the machine size).
+func (e Entry) MapMembers(dst []topology.NodeID, limit int) []topology.NodeID {
+	if e.UsesBitPattern() {
+		return e.bitPattern().Members(dst, limit)
+	}
+	for _, p := range e.pointers() {
+		if int(p) < limit {
+			dst = append(dst, p)
+		}
+	}
+	return dst
+}
+
+// Dest returns the multicast destination specification matching the
+// node map: the same pointer or bit-pattern structure is carried in the
+// invalidation message so the network delivers copies only to
+// represented nodes.
+func (e Entry) Dest() Dest {
+	if e.UsesBitPattern() {
+		return Dest{Pattern: e.bitPattern(), IsPattern: true}
+	}
+	d := Dest{}
+	d.Pointers = append(d.Pointers, e.pointers()...)
+	return d
+}
+
+func (e Entry) String() string {
+	r := ""
+	if e.Reserved() {
+		r = "R,"
+	}
+	if e.UsesBitPattern() {
+		return fmt.Sprintf("dir[%s%v,%v]", r, e.State(), e.bitPattern())
+	}
+	return fmt.Sprintf("dir[%s%v,ptr%v]", r, e.State(), e.pointers())
+}
+
+// Dest is a multicast destination specification: either an explicit
+// pointer list (precise, <= 4 nodes) or a bit-pattern. It mirrors the
+// directory's two formats, as in the hardware, so invalidations reach
+// exactly the represented set.
+type Dest struct {
+	Pointers  []topology.NodeID
+	Pattern   BitPattern
+	IsPattern bool
+}
+
+// Members appends the destination node set (below limit) to dst.
+func (d Dest) Members(dst []topology.NodeID, limit int) []topology.NodeID {
+	if d.IsPattern {
+		return d.Pattern.Members(dst, limit)
+	}
+	for _, p := range d.Pointers {
+		if int(p) < limit {
+			dst = append(dst, p)
+		}
+	}
+	return dst
+}
+
+// Count returns the size of the destination set (limit-confined counts
+// require Members; Count is the raw represented size).
+func (d Dest) Count() int {
+	if d.IsPattern {
+		return d.Pattern.Count()
+	}
+	return len(d.Pointers)
+}
+
+// Contains reports whether node n is a destination.
+func (d Dest) Contains(n topology.NodeID) bool {
+	if d.IsPattern {
+		return d.Pattern.Contains(n)
+	}
+	for _, p := range d.Pointers {
+		if p == n {
+			return true
+		}
+	}
+	return false
+}
+
+// Single returns a destination spec for exactly one node.
+func Single(n topology.NodeID) Dest {
+	return Dest{Pointers: []topology.NodeID{n}}
+}
+
+// AllNodes returns a bit-pattern destination covering exactly nodes
+// 0..n-1 (n a power of two). The update-protocol extension uses it to
+// address every third-level cache with one multicast.
+func AllNodes(n int) Dest {
+	var bp BitPattern
+	for i := 0; i < n; i++ {
+		bp.Add(topology.NodeID(i))
+	}
+	return Dest{Pattern: bp, IsPattern: true}
+}

@@ -1,0 +1,60 @@
+package directory
+
+// AnyMatch reports whether the represented set contains any node n with
+// n & mask == value (over the 10-bit node-number space). Network
+// switches use this to compute multicast output ports (high-bit
+// constraints) and gathering wait patterns (low-bit constraints) without
+// decoding the full member set — the switch-chip calculation the paper
+// describes as "found ... by their own position information in the
+// network, the system size, and the multicast destination".
+//
+// Because the bit-pattern structure is a cross product of independent
+// one-hot fields, the query decomposes field-wise and runs in O(42).
+func (p BitPattern) AnyMatch(mask, value uint32) bool {
+	if p == 0 {
+		return false
+	}
+	if value&^mask != 0 {
+		return false // value sets bits outside the mask: unsatisfiable
+	}
+	if value>>10 != 0 {
+		return false // constraint requires bits above the node-number width
+	}
+	f1, f2, f3, f4 := p.fields()
+	return fieldAny(f4, 5, 0, mask, value) &&
+		fieldAny(f3, 1, 5, mask, value) &&
+		fieldAny(f2, 2, 6, mask, value) &&
+		fieldAny(f1, 2, 8, mask, value)
+}
+
+// fieldAny reports whether the one-hot field (width bits starting at
+// node-number bit position pos) has a set bit consistent with the
+// mask/value constraint.
+func fieldAny(field uint64, width, pos int, mask, value uint32) bool {
+	fm := (uint32(1)<<width - 1) << pos
+	m := mask & fm
+	v := value & fm
+	for b := 0; b < 1<<width; b++ {
+		if field>>b&1 == 0 {
+			continue
+		}
+		if uint32(b)<<pos&m == v {
+			return true
+		}
+	}
+	return false
+}
+
+// AnyMatch reports whether any destination node n satisfies
+// n & mask == value.
+func (d Dest) AnyMatch(mask, value uint32) bool {
+	if d.IsPattern {
+		return d.Pattern.AnyMatch(mask, value)
+	}
+	for _, p := range d.Pointers {
+		if uint32(p)&mask == value {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,108 @@
+package directory
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cenju4/internal/topology"
+)
+
+// PrecisionPoint is one measurement for Figure 4: with Sharers true
+// sharers drawn at random, the scheme's node map decoded to an average
+// of Represented nodes over the Monte-Carlo trials.
+type PrecisionPoint struct {
+	Sharers     int
+	Represented float64
+}
+
+// PrecisionConfig parameterizes a Figure 4 style precision sweep.
+type PrecisionConfig struct {
+	// TotalNodes is the machine size (1024 in the paper).
+	TotalNodes int
+	// GroupSize confines the random sharers to one aligned group of
+	// this many nodes (Figure 4(b) uses 128). Zero or TotalNodes means
+	// sharers are drawn from the whole machine (Figure 4(a)).
+	GroupSize int
+	// Trials is the Monte-Carlo sample count per point.
+	Trials int
+	// Seed makes the sweep reproducible.
+	Seed int64
+}
+
+func (c PrecisionConfig) validate() PrecisionConfig {
+	if c.TotalNodes <= 0 {
+		c.TotalNodes = topology.MaxNodes
+	}
+	if c.GroupSize <= 0 || c.GroupSize > c.TotalNodes {
+		c.GroupSize = c.TotalNodes
+	}
+	if c.Trials <= 0 {
+		c.Trials = 100
+	}
+	return c
+}
+
+// EvaluatePrecision measures the average represented-set size of one
+// scheme for each sharer count in sharerCounts. Sharers are chosen
+// uniformly without replacement; when GroupSize < TotalNodes each trial
+// first picks a random aligned group (the "multi-user environment"
+// scenario where a partition of the machine runs one program).
+func EvaluatePrecision(s Scheme, cfg PrecisionConfig, sharerCounts []int) []PrecisionPoint {
+	cfg = cfg.validate()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	out := make([]PrecisionPoint, 0, len(sharerCounts))
+	perm := make([]int, cfg.GroupSize)
+	for _, k := range sharerCounts {
+		if k > cfg.GroupSize {
+			continue
+		}
+		sum := 0.0
+		m := s.New(cfg.TotalNodes)
+		for t := 0; t < cfg.Trials; t++ {
+			m.Clear()
+			base := 0
+			if cfg.GroupSize < cfg.TotalNodes {
+				groups := cfg.TotalNodes / cfg.GroupSize
+				base = rng.Intn(groups) * cfg.GroupSize
+			}
+			for i := range perm {
+				perm[i] = i
+			}
+			// Partial Fisher-Yates: first k entries are the sharers.
+			for i := 0; i < k; i++ {
+				j := i + rng.Intn(cfg.GroupSize-i)
+				perm[i], perm[j] = perm[j], perm[i]
+				m.Add(topology.NodeID(base + perm[i]))
+			}
+			sum += float64(m.Count())
+		}
+		out = append(out, PrecisionPoint{Sharers: k, Represented: sum / float64(cfg.Trials)})
+	}
+	return out
+}
+
+// DefaultSharerCounts returns the log-spaced sharer counts used for the
+// Figure 4 sweeps, capped at max.
+func DefaultSharerCounts(max int) []int {
+	base := []int{1, 2, 3, 4, 5, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128, 192, 256, 384, 512, 768, 1024}
+	out := make([]int, 0, len(base))
+	for _, k := range base {
+		if k <= max {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// Overshoot returns the ratio represented/sharers for a point — 1.0
+// means a perfectly precise record.
+func (p PrecisionPoint) Overshoot() float64 {
+	if p.Sharers == 0 {
+		return 1
+	}
+	return p.Represented / float64(p.Sharers)
+}
+
+func (p PrecisionPoint) String() string {
+	return fmt.Sprintf("{sharers=%d represented=%.1f}", p.Sharers, p.Represented)
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationNack(t *testing.T) {
+	r := AblationNack(32)
+	if r.Nacks == 0 || r.Retries == 0 {
+		t.Fatalf("nack mode saw no contention: %+v", r)
+	}
+	if r.QueuedRequests == 0 {
+		t.Fatal("queuing mode queued nothing")
+	}
+	if r.QueueHighWater > 32*4 {
+		t.Fatalf("queue high water %d exceeds bound", r.QueueHighWater)
+	}
+	// The queuing protocol's worst-case access must not be worse than
+	// the nack protocol's (bounded waiting vs retry roulette).
+	if r.QueuingWorstCase > r.NackWorstCase {
+		t.Errorf("queuing worst case %v > nack worst case %v", r.QueuingWorstCase, r.NackWorstCase)
+	}
+	if !strings.Contains(r.Render(), "queuing (Cenju-4)") {
+		t.Error("render missing rows")
+	}
+}
+
+func TestAblationSinglecastThreshold(t *testing.T) {
+	r := AblationSinglecastThreshold(64)
+	if len(r.Points) == 0 {
+		t.Fatal("no points")
+	}
+	// At 3 sharers (2 invalidation targets), a threshold of 4 uses
+	// singlecasts and must be at least as fast as threshold 1's
+	// multicast+gather (that is the optimization the paper suggests).
+	var thr1, thr4 ThresholdPoint
+	for _, p := range r.Points {
+		if p.Sharers == 3 && p.Threshold == 1 {
+			thr1 = p
+		}
+		if p.Sharers == 3 && p.Threshold == 4 {
+			thr4 = p
+		}
+	}
+	if thr1.Latency == 0 || thr4.Latency == 0 {
+		t.Fatal("missing threshold points")
+	}
+	if thr4.Latency > thr1.Latency {
+		t.Errorf("threshold 4 (%v) slower than threshold 1 (%v) at 3 sharers", thr4.Latency, thr1.Latency)
+	}
+	if !strings.Contains(r.Render(), "threshold") {
+		t.Error("render")
+	}
+}
+
+func TestAblationImprecision(t *testing.T) {
+	r := AblationImprecision(1024)
+	if len(r.Points) != 10 {
+		t.Fatalf("%d points", len(r.Points))
+	}
+	// Overshoot must never lose an invalidation target (>= sharers; the
+	// writer is among the sharers and also receives one).
+	for _, p := range r.Points {
+		if p.Targets < p.Sharers {
+			t.Fatalf("targets %d < sharers %d", p.Targets, p.Sharers)
+		}
+	}
+	// Clustered placement must overshoot no more than scattered at 32
+	// sharers.
+	var scat, clus int
+	for _, p := range r.Points {
+		if p.Sharers == 32 {
+			if p.Clustered {
+				clus = p.Targets
+			} else {
+				scat = p.Targets
+			}
+		}
+	}
+	if clus > scat {
+		t.Errorf("clustered targets %d > scattered %d", clus, scat)
+	}
+	if !strings.Contains(r.Render(), "overshoot") {
+		t.Error("render")
+	}
+}

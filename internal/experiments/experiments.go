@@ -1,0 +1,103 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 4): Table 1 (directory scheme characteristics),
+// Figure 4 (node-map precision), Table 2 (load latencies), Figure 10
+// (store latencies with and without multicast/gathering), Figure 11
+// (rewriting ratio and parallel efficiency), Figure 12 (speedups), and
+// Tables 3 and 4 (application characteristics).
+//
+// Each experiment returns a structured result with a Render method that
+// prints the same rows or series the paper reports, side by side with
+// the paper's published values where the paper gives them numerically.
+// cmd/cenju4-bench drives them all; bench_test.go wraps each in a
+// testing.B benchmark.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"cenju4/internal/sim"
+)
+
+// Config scales the application experiments (the latency and precision
+// experiments are cheap and ignore it).
+type Config struct {
+	// Scale is the problem size relative to Class A.
+	Scale float64
+	// Iterations is the number of outer time steps per run.
+	Iterations int
+	// Trials is the Monte-Carlo trial count for Figure 4.
+	Trials int
+}
+
+// Quick returns a configuration that runs the full suite in tens of
+// seconds (for tests and smoke runs). Shapes hold; absolute efficiency
+// values are closer to the paper under Full.
+func Quick() Config { return Config{Scale: 0.08, Iterations: 2, Trials: 60} }
+
+// Full returns the configuration used for EXPERIMENTS.md: Class A scale
+// and enough iterations to amortize cold misses.
+func Full() Config { return Config{Scale: 1.0, Iterations: 4, Trials: 200} }
+
+func (c Config) withDefaults() Config {
+	if c.Scale == 0 {
+		c.Scale = Quick().Scale
+	}
+	if c.Iterations == 0 {
+		c.Iterations = Quick().Iterations
+	}
+	if c.Trials == 0 {
+		c.Trials = Quick().Trials
+	}
+	return c
+}
+
+// pct formats a fraction as a percentage.
+func pct(f float64) string { return fmt.Sprintf("%.1f%%", 100*f) }
+
+// us formats a latency in microseconds.
+func us(t sim.Time) string { return fmt.Sprintf("%.2fus", t.Microseconds()) }
+
+// table is a minimal text-table builder used by the Render methods.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func (t *table) add(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	line(t.header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteString("\n")
+	for _, r := range t.rows {
+		line(r)
+	}
+	return b.String()
+}

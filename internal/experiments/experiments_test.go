@@ -1,0 +1,236 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"cenju4/internal/npb"
+)
+
+func TestTable1Render(t *testing.T) {
+	r := Table1()
+	if len(r.Rows) != 6 {
+		t.Fatalf("%d rows", len(r.Rows))
+	}
+	out := r.Render()
+	for _, want := range []string{"Full Map", "Cenju-4", "Origin"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestTable2WithinCalibrationBand(t *testing.T) {
+	r := Table2()
+	if err := r.MaxError(); err > 0.05 {
+		t.Fatalf("max error %.1f%% exceeds 5%% band\n%s", 100*err, r.Render())
+	}
+	out := r.Render()
+	if !strings.Contains(out, "a) private") || !strings.Contains(out, "e) shared remote(dirty)") {
+		t.Error("render missing rows")
+	}
+}
+
+func TestFigure4Shapes(t *testing.T) {
+	r := Figure4(Config{Trials: 40})
+	names := r.SchemeNames()
+	if len(names) != 3 {
+		t.Fatalf("scheme names = %v", names)
+	}
+	// Panel B at 32 sharers: bit-pattern beats coarse vector and
+	// hierarchical bit-map (the paper's multi-user argument).
+	at := func(name string, sharers int) float64 {
+		for _, p := range r.PanelB[name] {
+			if p.Sharers == sharers {
+				return p.Represented
+			}
+		}
+		t.Fatalf("no point for %s at %d sharers", name, sharers)
+		return 0
+	}
+	bp := at("bit-pattern (42b)", 32)
+	cv := at("coarse vector (32b)", 32)
+	hb := at("hierarchical bit-map (24b)", 32)
+	if bp >= cv || bp >= hb {
+		t.Errorf("panel B at 32 sharers: bit-pattern %.0f vs coarse %.0f, hierarchical %.0f", bp, cv, hb)
+	}
+	if !strings.Contains(r.Render(), "(b) sharers chosen from a 128-node group") {
+		t.Error("render missing panel b")
+	}
+}
+
+func TestFigure10Shapes(t *testing.T) {
+	r := Figure10()
+	if len(r.Series) != 4 {
+		t.Fatalf("%d series", len(r.Series))
+	}
+	// With multicast, the 1023-sharer latency must be within ~2x of the
+	// paper's 6.3us estimate; without, within ~2x of 184us; and the
+	// no-multicast end point must be an order of magnitude worse.
+	mc, ok := r.EndPoint(1024, true)
+	if !ok {
+		t.Fatal("no multicast end point")
+	}
+	sc, ok := r.EndPoint(1024, false)
+	if !ok {
+		t.Fatal("no singlecast end point")
+	}
+	if mc.Latency < r.PaperMulticast1024/2 || mc.Latency > r.PaperMulticast1024*2 {
+		t.Errorf("multicast end point %v vs paper %v", mc.Latency, r.PaperMulticast1024)
+	}
+	if sc.Latency < r.PaperSinglecast1024/2 || sc.Latency > r.PaperSinglecast1024*2 {
+		t.Errorf("singlecast end point %v vs paper %v", sc.Latency, r.PaperSinglecast1024)
+	}
+	if sc.Latency < 10*mc.Latency {
+		t.Errorf("singlecast %v not >> multicast %v", sc.Latency, mc.Latency)
+	}
+	// Store latency jumps when sharers exceed 2 (multicast kicks in).
+	for _, s := range r.Series {
+		if !s.Multicast || s.Nodes != 1024 {
+			continue
+		}
+		var l2, l4 int64
+		for _, p := range s.Points {
+			if p.Sharers == 2 {
+				l2 = int64(p.Latency)
+			}
+			if p.Sharers == 4 {
+				l4 = int64(p.Latency)
+			}
+		}
+		if l4 <= l2 {
+			t.Errorf("no jump past 2 sharers: %d -> %d", l2, l4)
+		}
+	}
+	if !strings.Contains(r.Render(), "singlecast (estimated comparison)") {
+		t.Error("render missing singlecast series")
+	}
+}
+
+func TestFigure11Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("application sweep")
+	}
+	r := Figure11(Config{Scale: 0.05, Iterations: 2})
+	if len(r.Entries) != 20 {
+		t.Fatalf("%d entries, want 20", len(r.Entries))
+	}
+	for _, app := range npb.Apps() {
+		d1, _ := r.Find(app, npb.DSM1, true)
+		d2, _ := r.Find(app, npb.DSM2, true)
+		mpi, _ := r.Find(app, npb.MPI, false)
+		// Rewriting: dsm(1) < dsm(2) < mpi.
+		if !(d1.RewriteRatio < d2.RewriteRatio && d2.RewriteRatio < mpi.RewriteRatio) {
+			t.Errorf("%v rewrite ordering: %.2f %.2f %.2f", app, d1.RewriteRatio, d2.RewriteRatio, mpi.RewriteRatio)
+		}
+		// Efficiency: dsm(2) >= dsm(1) for all apps.
+		if d2.Efficiency < d1.Efficiency*0.95 {
+			t.Errorf("%v: dsm(2) eff %.2f < dsm(1) %.2f", app, d2.Efficiency, d1.Efficiency)
+		}
+		// Mappings help the grid apps in dsm(1).
+		if app == npb.BT || app == npb.SP {
+			nomap, _ := r.Find(app, npb.DSM1, false)
+			if d1.Efficiency <= nomap.Efficiency {
+				t.Errorf("%v: mapping did not help dsm(1): %.3f vs %.3f", app, d1.Efficiency, nomap.Efficiency)
+			}
+		}
+	}
+	out := r.Render()
+	if !strings.Contains(out, "rewriting ratio") || !strings.Contains(out, "parallel efficiency") {
+		t.Error("render missing panels")
+	}
+}
+
+func TestFigure12CGSaturates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("application sweep")
+	}
+	r := Figure12(Config{Scale: 0.05, Iterations: 2})
+	cg, ok := r.Find(npb.CG)
+	if !ok {
+		t.Fatal("no CG series")
+	}
+	last := len(cg.Speedups) - 1
+	// CG saturation: going 64 -> 128 nodes must gain little (< 1.4x).
+	if cg.Speedups[last]/cg.Speedups[last-1] > 1.4 {
+		t.Errorf("CG did not saturate: %v", cg.Speedups)
+	}
+	bt, _ := r.Find(npb.BT)
+	if bt.Speedups[len(bt.Speedups)-1] <= bt.Speedups[0] {
+		t.Errorf("BT does not scale: %v", bt.Speedups)
+	}
+	// Every app must speed up with more nodes initially.
+	for _, s := range r.Series {
+		if s.Speedups[1] <= s.Speedups[0] {
+			t.Errorf("%v: no speedup from %d to %d nodes: %v", s.App, s.Nodes[0], s.Nodes[1], s.Speedups)
+		}
+	}
+}
+
+func TestTable3Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("application sweep")
+	}
+	r := Table3(Config{Scale: 0.05, Iterations: 2})
+	if len(r.Rows) != 16 {
+		t.Fatalf("%d rows, want 16", len(r.Rows))
+	}
+	for _, app := range []npb.App{npb.BT, npb.SP, npb.FT} {
+		un, _ := r.Find(app, npb.DSM1, false)
+		ma, _ := r.Find(app, npb.DSM1, true)
+		if ma.Remote >= un.Remote {
+			t.Errorf("%v dsm(1): mapping did not cut remote share: %.2f vs %.2f", app, ma.Remote, un.Remote)
+		}
+		d2, _ := r.Find(app, npb.DSM2, true)
+		if d2.Private <= ma.Private {
+			t.Errorf("%v: dsm(2) private share %.2f <= dsm(1) %.2f", app, d2.Private, ma.Private)
+		}
+	}
+	// CG: mapping has almost no effect.
+	cgU, _ := r.Find(npb.CG, npb.DSM1, false)
+	cgM, _ := r.Find(npb.CG, npb.DSM1, true)
+	if diff := cgU.MissRatio - cgM.MissRatio; diff > 0.2*cgU.MissRatio || diff < -0.2*cgU.MissRatio {
+		t.Errorf("CG mapping changed miss ratio: %.4f vs %.4f", cgU.MissRatio, cgM.MissRatio)
+	}
+}
+
+func TestTable4Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("application sweep")
+	}
+	r := Table4(Config{Scale: 0.05, Iterations: 2})
+	if len(r.Rows) != 8 {
+		t.Fatalf("%d rows, want 8", len(r.Rows))
+	}
+	for _, app := range npb.Apps() {
+		small, _ := r.Find(app, 16)
+		big, _ := r.Find(app, paperNodes(app))
+		// Execution time must fall with more nodes.
+		if big.ExecTime >= small.ExecTime {
+			t.Errorf("%v: time did not fall: %v -> %v", app, small.ExecTime, big.ExecTime)
+		}
+		// Sync fraction rises with machine size.
+		if big.SyncFrac <= small.SyncFrac {
+			t.Errorf("%v: sync fraction fell: %.3f -> %.3f", app, small.SyncFrac, big.SyncFrac)
+		}
+	}
+	// CG: remote miss share rises sharply with machine size (the
+	// paper's saturation diagnosis).
+	cgSmall, _ := r.Find(npb.CG, 16)
+	cgBig, _ := r.Find(npb.CG, 128)
+	if cgBig.MissRemote <= cgSmall.MissRemote {
+		t.Errorf("CG remote miss share did not rise: %.2f -> %.2f", cgSmall.MissRemote, cgBig.MissRemote)
+	}
+}
+
+func TestQuickFullPresets(t *testing.T) {
+	q, f := Quick(), Full()
+	if q.Scale >= f.Scale {
+		t.Error("quick scale not smaller")
+	}
+	var zero Config
+	d := zero.withDefaults()
+	if d.Scale == 0 || d.Iterations == 0 || d.Trials == 0 {
+		t.Error("defaults not applied")
+	}
+}

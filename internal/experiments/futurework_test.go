@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFutureWorkLiftsSaturation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("application sweep")
+	}
+	r := FutureWork(Config{Scale: 0.1, Iterations: 3})
+	if len(r.Points) != 3 {
+		t.Fatalf("%d points", len(r.Points))
+	}
+	// At the largest machine the update protocol must beat the baseline.
+	if g := r.Gain(); g <= 1.0 {
+		t.Fatalf("update-protocol gain %.2f at 128 nodes, want > 1", g)
+	}
+	for _, p := range r.Points {
+		// Remote traffic must drop.
+		if p.RemoteMissUpd >= p.RemoteMissBase {
+			t.Errorf("nodes=%d: remote misses did not drop: %.4f -> %.4f",
+				p.Nodes, p.RemoteMissBase, p.RemoteMissUpd)
+		}
+		if p.UpdateWrites == 0 {
+			t.Errorf("nodes=%d: no update writes", p.Nodes)
+		}
+	}
+	// The benefit must grow with machine size (it targets saturation).
+	first := r.Points[0].UpdateSpeedup / r.Points[0].BaseSpeedup
+	last := r.Points[len(r.Points)-1].UpdateSpeedup / r.Points[len(r.Points)-1].BaseSpeedup
+	if last <= first {
+		t.Errorf("gain does not grow with machine size: %.2f -> %.2f", first, last)
+	}
+	if !strings.Contains(r.Render(), "update-type protocol") {
+		t.Error("render")
+	}
+}

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"cenju4/internal/directory"
+)
+
+// Table1Result is the directory-scheme comparison: the paper's
+// qualitative rows plus the quantitative cost model behind them.
+type Table1Result struct {
+	Rows  []directory.Characteristic
+	Costs []directory.CostRow
+}
+
+// Table1 returns the paper's Table 1 with quantitative backing.
+func Table1() Table1Result {
+	return Table1Result{Rows: directory.Table1(), Costs: directory.CostComparison()}
+}
+
+// Render prints the table.
+func (r Table1Result) Render() string {
+	t := &table{header: []string{"scheme", "hardware cost", "access cost", "note"}}
+	mark := func(ok bool) string {
+		if ok {
+			return "scalable"
+		}
+		return "x"
+	}
+	for _, row := range r.Rows {
+		t.add(row.Scheme, mark(row.HardwareScale), mark(row.AccessScale), row.Note)
+	}
+	c := &table{header: []string{"scheme", "bits/block @1024", "enum k=1", "enum k=32", "enum k=1024", "precise"}}
+	for _, row := range r.Costs {
+		prec := "yes"
+		if !row.Precise {
+			prec = "no"
+		}
+		c.add(row.Scheme, fmt.Sprintf("%d", row.Bits1024),
+			fmt.Sprintf("%d", row.Enum1), fmt.Sprintf("%d", row.Enum32),
+			fmt.Sprintf("%d", row.Enum1024), prec)
+	}
+	return "Table 1: characteristics of directory schemes\n" + t.String() +
+		"\nQuantitative cost model (per-block storage; sequential accesses to enumerate k sharers):\n" + c.String()
+}
+
+// Figure4Result holds both panels of Figure 4: average represented-set
+// size per scheme, with sharers drawn from all 1024 nodes (panel a) and
+// from one 128-node group (panel b).
+type Figure4Result struct {
+	PanelA map[string][]directory.PrecisionPoint
+	PanelB map[string][]directory.PrecisionPoint
+}
+
+// Figure4 runs the Monte-Carlo precision sweeps.
+func Figure4(cfg Config) Figure4Result {
+	cfg = cfg.withDefaults()
+	res := Figure4Result{
+		PanelA: make(map[string][]directory.PrecisionPoint),
+		PanelB: make(map[string][]directory.PrecisionPoint),
+	}
+	a := directory.PrecisionConfig{TotalNodes: 1024, Trials: cfg.Trials, Seed: 1}
+	b := directory.PrecisionConfig{TotalNodes: 1024, GroupSize: 128, Trials: cfg.Trials, Seed: 2}
+	for _, s := range directory.Schemes() {
+		res.PanelA[s.Name] = directory.EvaluatePrecision(s, a, directory.DefaultSharerCounts(1024))
+		res.PanelB[s.Name] = directory.EvaluatePrecision(s, b, directory.DefaultSharerCounts(128))
+	}
+	return res
+}
+
+// SchemeNames returns the series names in plot order.
+func (Figure4Result) SchemeNames() []string {
+	names := make([]string, 0, 3)
+	for _, s := range directory.Schemes() {
+		names = append(names, s.Name)
+	}
+	return names
+}
+
+// Render prints both panels.
+func (r Figure4Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 4: behavior of imprecise node maps (1024-node system)\n")
+	render := func(title string, panel map[string][]directory.PrecisionPoint) {
+		fmt.Fprintf(&b, "\n%s\n", title)
+		names := r.SchemeNames()
+		t := &table{header: append([]string{"sharers"}, names...)}
+		if len(panel[names[0]]) == 0 {
+			return
+		}
+		for i := range panel[names[0]] {
+			cells := []string{fmt.Sprintf("%d", panel[names[0]][i].Sharers)}
+			for _, n := range names {
+				cells = append(cells, fmt.Sprintf("%.1f", panel[n][i].Represented))
+			}
+			t.add(cells...)
+		}
+		b.WriteString(t.String())
+	}
+	render("(a) sharers chosen from 1024 nodes — avg nodes represented", r.PanelA)
+	render("(b) sharers chosen from a 128-node group — avg nodes represented", r.PanelB)
+	return b.String()
+}

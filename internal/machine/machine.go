@@ -1,0 +1,216 @@
+// Package machine assembles a complete Cenju-4: N nodes (processor,
+// cache, controller with master/home/slave modules, memory), the
+// multistage network, and the message-passing world — and runs workload
+// programs on it.
+package machine
+
+import (
+	"fmt"
+
+	"cenju4/internal/cache"
+	"cenju4/internal/core"
+	"cenju4/internal/cpu"
+	"cenju4/internal/mpi"
+	"cenju4/internal/msg"
+	"cenju4/internal/network"
+	"cenju4/internal/sim"
+	"cenju4/internal/stats"
+	"cenju4/internal/timing"
+	"cenju4/internal/topology"
+)
+
+// Config parameterizes a machine.
+type Config struct {
+	// Nodes is the machine size (power of two up to 1024).
+	Nodes int
+	// Stages overrides the network stage count (0 = paper default).
+	Stages int
+	// Multicast enables the network's multicast/gathering functions
+	// (the real hardware; disable for the Figure 10 comparison).
+	Multicast bool
+	// Mode selects the coherence protocol (queuing or nack).
+	Mode core.Mode
+	// Params supplies hardware latency constants.
+	Params timing.Params
+	// MPI supplies message-passing constants.
+	MPI timing.MPIParams
+	// Cache overrides cache geometry.
+	Cache cache.Config
+	// CPU overrides processor constants (Node is filled per node).
+	CPU cpu.Config
+	// SinglecastThreshold forwards to core.Config.
+	SinglecastThreshold int
+	// UpdateMode forwards to core.Config: blocks handled by the
+	// update-protocol extension.
+	UpdateMode func(topology.Addr) bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Params == (timing.Params{}) {
+		c.Params = timing.Default()
+	}
+	if c.MPI == (timing.MPIParams{}) {
+		c.MPI = timing.DefaultMPI()
+	}
+	return c
+}
+
+// Machine is one assembled system.
+type Machine struct {
+	cfg   Config
+	eng   *sim.Engine
+	net   *network.Network
+	world *mpi.World
+	ctrls []*core.Controller
+	cpus  []*cpu.CPU
+}
+
+// New builds a machine.
+func New(cfg Config) *Machine {
+	cfg = cfg.withDefaults()
+	if !topology.ValidNodeCount(cfg.Nodes) {
+		panic(fmt.Sprintf("machine: invalid node count %d", cfg.Nodes))
+	}
+	m := &Machine{cfg: cfg, eng: sim.NewEngine()}
+	m.net = network.New(m.eng, network.Config{
+		Nodes:     cfg.Nodes,
+		Stages:    cfg.Stages,
+		Multicast: cfg.Multicast,
+		Params:    cfg.Params,
+	})
+	m.world = mpi.New(m.eng, cfg.Nodes, cfg.MPI)
+	m.ctrls = make([]*core.Controller, cfg.Nodes)
+	m.cpus = make([]*cpu.CPU, cfg.Nodes)
+	for i := 0; i < cfg.Nodes; i++ {
+		node := topology.NodeID(i)
+		m.ctrls[i] = core.New(m.eng, m.net, core.Config{
+			Node:                node,
+			Nodes:               cfg.Nodes,
+			Params:              cfg.Params,
+			Mode:                cfg.Mode,
+			Cache:               cfg.Cache,
+			SinglecastThreshold: cfg.SinglecastThreshold,
+			UpdateMode:          cfg.UpdateMode,
+		})
+		m.net.Attach(node, m.ctrls[i].Deliver)
+		cpuCfg := cfg.CPU
+		cpuCfg.Node = node
+		cpuCfg.Params = cfg.Params
+		m.cpus[i] = cpu.New(m.eng, m.ctrls[i], m.world, cpuCfg)
+	}
+	return m
+}
+
+// Engine exposes the event engine (examples and tests drive it).
+func (m *Machine) Engine() *sim.Engine { return m.eng }
+
+// Network exposes the interconnect.
+func (m *Machine) Network() *network.Network { return m.net }
+
+// Controller returns node n's coherence controller.
+func (m *Machine) Controller(n topology.NodeID) *core.Controller { return m.ctrls[n] }
+
+// CPU returns node n's processor.
+func (m *Machine) CPU(n topology.NodeID) *cpu.CPU { return m.cpus[n] }
+
+// World exposes the message-passing world.
+func (m *Machine) World() *mpi.World { return m.world }
+
+// Nodes returns the machine size.
+func (m *Machine) Nodes() int { return m.cfg.Nodes }
+
+// SetTracer installs a protocol event tracer on every controller (nil
+// removes it).
+func (m *Machine) SetTracer(t core.Tracer) {
+	for _, c := range m.ctrls {
+		c.SetTracer(t)
+	}
+}
+
+// LatencyHistograms merges every node's per-request-kind transaction
+// latency distributions.
+func (m *Machine) LatencyHistograms() map[msg.Kind]*stats.Histogram {
+	merged := make(map[msg.Kind]*stats.Histogram)
+	for _, c := range m.ctrls {
+		for kind, h := range c.Latencies() {
+			dst := merged[kind]
+			if dst == nil {
+				dst = &stats.Histogram{}
+				merged[kind] = dst
+			}
+			dst.Merge(h)
+		}
+	}
+	return merged
+}
+
+// Result summarizes one run.
+type Result struct {
+	// Time is the makespan: the latest program completion.
+	Time sim.Time
+	// PerNode holds each processor's execution statistics.
+	PerNode []cpu.Stats
+	// Protocol holds each controller's coherence statistics.
+	Protocol []core.Stats
+	// Network is the interconnect's counters.
+	Network network.Stats
+	// MPI is the message-passing counters.
+	MPI mpi.Stats
+	// Events is the number of simulation events executed.
+	Events uint64
+}
+
+// Run executes one program per node to completion and returns the
+// aggregated result. len(progs) must equal the node count.
+func (m *Machine) Run(progs []cpu.Program) Result {
+	if len(progs) != m.cfg.Nodes {
+		panic(fmt.Sprintf("machine: %d programs for %d nodes", len(progs), m.cfg.Nodes))
+	}
+	remaining := m.cfg.Nodes
+	for i, p := range progs {
+		m.cpus[i].Run(p, func() { remaining-- })
+	}
+	m.eng.Run()
+	if remaining != 0 {
+		panic(fmt.Sprintf("machine: %d programs never finished (deadlock or unmatched synchronization)", remaining))
+	}
+	return m.Snapshot()
+}
+
+// Snapshot collects statistics without running.
+func (m *Machine) Snapshot() Result {
+	r := Result{
+		PerNode:  make([]cpu.Stats, m.cfg.Nodes),
+		Protocol: make([]core.Stats, m.cfg.Nodes),
+		Network:  m.net.Stats(),
+		MPI:      m.world.Stats(),
+		Events:   m.eng.Fired(),
+	}
+	for i := 0; i < m.cfg.Nodes; i++ {
+		r.PerNode[i] = m.cpus[i].Stats()
+		r.Protocol[i] = m.ctrls[i].Stats()
+		if r.PerNode[i].EndTime > r.Time {
+			r.Time = r.PerNode[i].EndTime
+		}
+	}
+	return r
+}
+
+// Totals aggregates the per-node CPU statistics.
+func (r Result) Totals() cpu.Stats {
+	var t cpu.Stats
+	for _, s := range r.PerNode {
+		t.Instructions += s.Instructions
+		t.MemAccesses += s.MemAccesses
+		t.PrivateAccesses += s.PrivateAccesses
+		t.LocalAccesses += s.LocalAccesses
+		t.RemoteAccesses += s.RemoteAccesses
+		t.Misses += s.Misses
+		t.PrivateMisses += s.PrivateMisses
+		t.LocalMisses += s.LocalMisses
+		t.RemoteMisses += s.RemoteMisses
+		t.BusyTime += s.BusyTime
+		t.SyncTime += s.SyncTime
+	}
+	return t
+}

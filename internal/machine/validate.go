@@ -1,0 +1,104 @@
+package machine
+
+import (
+	"fmt"
+
+	"cenju4/internal/cache"
+	"cenju4/internal/directory"
+	"cenju4/internal/topology"
+)
+
+// Validate checks global coherence invariants across every touched
+// shared block. It is meant to run when the event engine is idle (no
+// in-flight transactions): pending directory states then indicate a
+// protocol leak and fail validation too.
+//
+// Invariants:
+//
+//  1. Single writer: at most one node holds a block Modified or
+//     Exclusive, and then no node holds it Shared.
+//  2. Directory-dirty agreement: a Dirty block's decoded node map names
+//     exactly one node, and no *other* node holds any copy. (The owner
+//     itself may have silently evicted — the map is then stale but
+//     safe.)
+//  3. Conservative map: every node holding a copy of a Clean block
+//     appears in the decoded (possibly superset) node map. Exception:
+//     blocks under the update protocol do not track sharers.
+//  4. Quiescence: no pending states, no reservation bits, and empty
+//     request queues once the machine is idle.
+//
+// It returns the first violation found, or nil.
+func (m *Machine) Validate() error {
+	if m.eng.Pending() != 0 {
+		return fmt.Errorf("machine: validate called with %d events outstanding", m.eng.Pending())
+	}
+	for home := 0; home < m.cfg.Nodes; home++ {
+		ctrl := m.ctrls[home]
+		if n := ctrl.PendingBlocks(); n != 0 {
+			return fmt.Errorf("node %d: %d transactions still pending at idle", home, n)
+		}
+		if n := ctrl.QueueLen(); n != 0 {
+			return fmt.Errorf("node %d: request queue holds %d entries at idle", home, n)
+		}
+		var err error
+		ctrl.Memory().ForEach(func(idx uint64, e *directory.Entry) {
+			if err != nil {
+				return
+			}
+			addr := topology.SharedAddr(topology.NodeID(home), idx*topology.BlockSize)
+			err = m.validateBlock(addr, e)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *Machine) validateBlock(addr topology.Addr, e *directory.Entry) error {
+	if e.State().Pending() {
+		return fmt.Errorf("block %v: state %v at idle", addr, e.State())
+	}
+	if e.Reserved() {
+		return fmt.Errorf("block %v: reservation bit set at idle", addr)
+	}
+	updateMode := m.cfg.UpdateMode != nil && m.cfg.UpdateMode(addr)
+
+	owners, sharers := 0, 0
+	var owner topology.NodeID
+	for n := 0; n < m.cfg.Nodes; n++ {
+		switch m.ctrls[n].Cache().State(addr) {
+		case cache.Modified, cache.Exclusive:
+			owners++
+			owner = topology.NodeID(n)
+		case cache.Shared:
+			sharers++
+			if !updateMode && !e.MapContains(topology.NodeID(n)) {
+				return fmt.Errorf("block %v: node %d holds S but is absent from the node map %v", addr, n, *e)
+			}
+		}
+	}
+	if owners > 1 {
+		return fmt.Errorf("block %v: %d exclusive owners", addr, owners)
+	}
+	if owners == 1 && sharers > 0 {
+		return fmt.Errorf("block %v: owner %v coexists with %d shared copies", addr, owner, sharers)
+	}
+	if owners == 1 {
+		if updateMode {
+			return fmt.Errorf("block %v: exclusive owner %v under the update protocol", addr, owner)
+		}
+		if e.State() != directory.Dirty {
+			return fmt.Errorf("block %v: owner %v but directory state %v", addr, owner, e.State())
+		}
+		if !e.MapContains(owner) {
+			return fmt.Errorf("block %v: owner %v absent from node map %v", addr, owner, *e)
+		}
+	}
+	if e.State() == directory.Dirty {
+		if n := len(e.MapMembers(nil, m.cfg.Nodes)); n != 1 {
+			return fmt.Errorf("block %v: dirty with %d registered nodes", addr, n)
+		}
+	}
+	return nil
+}

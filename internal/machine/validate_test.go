@@ -1,0 +1,105 @@
+package machine
+
+import (
+	"math/rand"
+	"testing"
+
+	"cenju4/internal/cache"
+	"cenju4/internal/cpu"
+	"cenju4/internal/shmem"
+	"cenju4/internal/topology"
+)
+
+func TestValidateCleanMachine(t *testing.T) {
+	m := New(Config{Nodes: 8, Multicast: true})
+	if err := m.Validate(); err != nil {
+		t.Fatalf("fresh machine invalid: %v", err)
+	}
+}
+
+func TestValidateAfterMixedTraffic(t *testing.T) {
+	m := New(Config{Nodes: 16, Multicast: true})
+	alloc := shmem.NewAllocator(16)
+	reg := alloc.Shared("u", 4096, shmem.MapBlocked)
+	rng := rand.New(rand.NewSource(5))
+	progs := make([]cpu.Program, 16)
+	for n := 0; n < 16; n++ {
+		var ops []cpu.Op
+		for i := 0; i < 800; i++ {
+			k := cpu.OpLoad
+			if rng.Intn(4) == 0 {
+				k = cpu.OpStore
+			}
+			ops = append(ops, cpu.Op{Kind: k, Addr: reg.Addr(rng.Intn(4096))})
+		}
+		ops = append(ops, cpu.Op{Kind: cpu.OpBarrier})
+		progs[n] = &cpu.SliceProgram{Ops: ops}
+	}
+	m.Run(progs)
+	if err := m.Validate(); err != nil {
+		t.Fatalf("coherence violated after mixed traffic: %v", err)
+	}
+}
+
+func TestValidateAfterUpdateProtocolTraffic(t *testing.T) {
+	alloc := shmem.NewAllocator(8)
+	reg := alloc.Shared("p", 1024, shmem.MapBlocked)
+	m := New(Config{Nodes: 8, Multicast: true, UpdateMode: reg.Contains})
+	rng := rand.New(rand.NewSource(6))
+	progs := make([]cpu.Program, 8)
+	for n := 0; n < 8; n++ {
+		var ops []cpu.Op
+		for i := 0; i < 300; i++ {
+			k := cpu.OpLoad
+			if rng.Intn(4) == 0 {
+				k = cpu.OpStore
+			}
+			ops = append(ops, cpu.Op{Kind: k, Addr: reg.Addr(rng.Intn(1024))})
+		}
+		progs[n] = &cpu.SliceProgram{Ops: ops}
+	}
+	m.Run(progs)
+	if err := m.Validate(); err != nil {
+		t.Fatalf("update-protocol traffic violated coherence: %v", err)
+	}
+}
+
+// The validator must actually detect violations: corrupt a cache state
+// behind the protocol's back and expect a complaint.
+func TestValidateDetectsInjectedViolations(t *testing.T) {
+	m := New(Config{Nodes: 4, Multicast: true})
+	a := topology.SharedAddr(0, 0)
+	done := false
+	m.Controller(1).Request(a, true, func() { done = true })
+	m.Engine().Run()
+	if !done {
+		t.Fatal("setup access failed")
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("valid state rejected: %v", err)
+	}
+	// Inject a second exclusive owner.
+	m.Controller(2).Cache().Insert(a, cache.Modified)
+	if err := m.Validate(); err == nil {
+		t.Fatal("double owner not detected")
+	}
+	// Repair, then inject a sharer missing from the node map.
+	m.Controller(2).Cache().SetState(a, cache.Invalid)
+	m.Controller(1).Cache().SetState(a, cache.Shared)
+	m.Controller(0).Memory().Entry(a).SetState(0 /* Clean */)
+	if err := m.Validate(); err != nil {
+		t.Fatalf("repaired state rejected: %v", err)
+	}
+	m.Controller(3).Cache().Insert(a, cache.Shared)
+	if err := m.Validate(); err == nil {
+		t.Fatal("unregistered sharer not detected")
+	}
+}
+
+func TestValidateRejectsBusyEngine(t *testing.T) {
+	m := New(Config{Nodes: 4, Multicast: true})
+	m.Engine().At(100, func() {})
+	if err := m.Validate(); err == nil {
+		t.Fatal("validate accepted a busy engine")
+	}
+}

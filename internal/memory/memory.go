@@ -1,0 +1,160 @@
+// Package memory models a node's main memory as seen by the DSM: the
+// directory store (one 64-bit entry per 128-byte block, 1/16 of memory)
+// and the memory-resident bounded FIFO queues that make the coherence
+// protocol starvation-free and deadlock-free.
+//
+// Data contents are not stored — workloads are address streams — but
+// directory entries are real 64-bit words and the queues enforce the
+// paper's exact capacities:
+//
+//   - request queue: 4 outstanding x N nodes entries of 64 bits (32 KB
+//     at 1024 nodes) — requests that hit a pending block wait here.
+//   - slave overflow queue: 4 x N entries of 128 bits (64 KB) — request
+//     messages the slave module cannot buffer on-chip.
+//   - home output queue: 4 x N entries of 128 bits (64 KB) — outbound
+//     messages the home cannot inject; one invalidation plus its node
+//     map stands in for a whole multicast fan-out.
+package memory
+
+import (
+	"fmt"
+
+	"cenju4/internal/directory"
+	"cenju4/internal/topology"
+)
+
+// Memory is one node's main memory (directory portion).
+type Memory struct {
+	node    topology.NodeID
+	entries map[uint64]*directory.Entry
+}
+
+// New returns the memory of the given node.
+func New(node topology.NodeID) *Memory {
+	return &Memory{node: node, entries: make(map[uint64]*directory.Entry)}
+}
+
+// Entry returns the directory entry for the block containing addr,
+// allocating a clean, empty entry on first touch (all memory starts
+// uncached and clean). The address must be homed at this node.
+func (m *Memory) Entry(addr topology.Addr) *directory.Entry {
+	if !addr.Shared() || addr.Home() != m.node {
+		panic(fmt.Sprintf("memory: %v not homed at %v", addr, m.node))
+	}
+	idx := addr.BlockIndex()
+	e := m.entries[idx]
+	if e == nil {
+		e = new(directory.Entry)
+		m.entries[idx] = e
+	}
+	return e
+}
+
+// Touched returns the number of blocks with allocated directory entries.
+func (m *Memory) Touched() int { return len(m.entries) }
+
+// ForEach visits every touched directory entry with its block index.
+// Iteration order is unspecified.
+func (m *Memory) ForEach(fn func(blockIndex uint64, e *directory.Entry)) {
+	for idx, e := range m.entries {
+		fn(idx, e)
+	}
+}
+
+// DirectoryBytes returns the directory storage in use (8 bytes per
+// touched block; the hardware reserves 1/16 of memory statically).
+func (m *Memory) DirectoryBytes() int { return len(m.entries) * topology.DirEntryBytes }
+
+// Queue is a bounded FIFO backed by main memory. Overflow is a protocol
+// invariant violation and panics: the paper's sizing argument guarantees
+// the bound (4 outstanding requests per node x N nodes), and the tests
+// drive the system to that bound.
+type Queue[T any] struct {
+	name      string
+	entries   []T
+	head      int
+	capacity  int
+	entryBits int
+	highWater int
+}
+
+// NewQueue returns a bounded FIFO with the given capacity. entryBits is
+// the hardware size of one entry, used for BufferBytes reporting.
+func NewQueue[T any](name string, capacity, entryBits int) *Queue[T] {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("memory: queue %q capacity %d", name, capacity))
+	}
+	return &Queue[T]{name: name, capacity: capacity, entryBits: entryBits}
+}
+
+// Len returns the number of queued entries.
+func (q *Queue[T]) Len() int { return len(q.entries) - q.head }
+
+// Empty reports whether the queue is empty.
+func (q *Queue[T]) Empty() bool { return q.Len() == 0 }
+
+// Cap returns the capacity.
+func (q *Queue[T]) Cap() int { return q.capacity }
+
+// HighWater returns the maximum length ever reached.
+func (q *Queue[T]) HighWater() int { return q.highWater }
+
+// BufferBytes returns the memory reserved for this queue: capacity
+// times the hardware entry size.
+func (q *Queue[T]) BufferBytes() int { return q.capacity * q.entryBits / 8 }
+
+// Push appends v. It panics on overflow — see the type comment.
+func (q *Queue[T]) Push(v T) {
+	if q.Len() >= q.capacity {
+		panic(fmt.Sprintf("memory: queue %q overflow beyond %d entries — protocol sizing invariant violated", q.name, q.capacity))
+	}
+	q.entries = append(q.entries, v)
+	if q.Len() > q.highWater {
+		q.highWater = q.Len()
+	}
+}
+
+// Peek returns the head entry without removing it ("reads the request at
+// the top of the queue (does not dequeue yet)").
+func (q *Queue[T]) Peek() (T, bool) {
+	var zero T
+	if q.Empty() {
+		return zero, false
+	}
+	return q.entries[q.head], true
+}
+
+// Pop removes and returns the head entry.
+func (q *Queue[T]) Pop() (T, bool) {
+	v, ok := q.Peek()
+	if !ok {
+		return v, false
+	}
+	var zero T
+	q.entries[q.head] = zero
+	q.head++
+	if q.head == len(q.entries) { // fully drained: reset backing storage
+		q.entries = q.entries[:0]
+		q.head = 0
+	} else if q.head > 4096 && q.head*2 > len(q.entries) {
+		n := copy(q.entries, q.entries[q.head:])
+		for i := n; i < len(q.entries); i++ {
+			q.entries[i] = zero
+		}
+		q.entries = q.entries[:n]
+		q.head = 0
+	}
+	return v, true
+}
+
+// RequestQueueCapacity returns the starvation-queue capacity for a
+// machine of n nodes: every node can have at most MaxOutstanding
+// non-writeback requests waiting at one home.
+func RequestQueueCapacity(n int) int { return n * topology.MaxOutstanding }
+
+// RequestQueueBits is the hardware size of one queued request.
+const RequestQueueBits = 64
+
+// OverflowQueueBits is the hardware size of one queued message in the
+// slave and home overflow regions.
+const OverflowQueueBits = 128

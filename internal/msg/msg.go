@@ -1,0 +1,166 @@
+// Package msg defines the coherence messages exchanged among the
+// master, home and slave modules of Cenju-4 nodes, and the destination
+// and gathering metadata the network needs to deliver them.
+package msg
+
+import (
+	"fmt"
+
+	"cenju4/internal/directory"
+	"cenju4/internal/sim"
+	"cenju4/internal/topology"
+)
+
+// Kind enumerates coherence message types. Requests flow master->home,
+// forwarded requests and invalidations home->slave(s), slave replies
+// slave->home (the Cenju-4 protocol routes slave replies through the
+// home, removing the DASH nack races), and final replies home->master.
+type Kind uint8
+
+const (
+	// KindInvalid is the zero Kind; it is never sent.
+	KindInvalid Kind = iota
+
+	// Master -> home requests.
+	ReadShared    // load miss
+	ReadExclusive // store miss
+	Ownership     // store hit on a shared block (no data transfer needed)
+	WriteBack     // replacement of a modified block (carries data, no reply)
+
+	// Home -> slave.
+	FwdReadShared    // forwarded to the dirty slave
+	FwdReadExclusive // forwarded to the dirty slave
+	Invalidate       // multicast to all registered slaves
+
+	// Slave -> home replies.
+	SlaveData // carries the dirty block
+	SlaveAck  // no data
+	InvAck    // invalidation acknowledgement (gathered in-network)
+
+	// Home -> master replies.
+	HomeData // carries the block
+	HomeAck  // ownership granted, no data
+
+	// Nack exists only in the DASH-style comparison protocol: the home
+	// refuses a request against a pending block and the master retries.
+	// The Cenju-4 queuing protocol never sends it.
+	Nack
+
+	// The update-type protocol extension (the paper's Section 4.2.3
+	// future work): stores to update-mode blocks write through to the
+	// home, which multicasts the new data to every node's third-level
+	// cache in main memory.
+	UpdateWrite // master -> home, carries data
+	UpdateData  // home -> all nodes, multicast, carries data
+	UpdateAck   // node -> home, gathered
+)
+
+var kindNames = [...]string{
+	"invalid", "read-shared", "read-exclusive", "ownership", "writeback",
+	"fwd-read-shared", "fwd-read-exclusive", "invalidate",
+	"slave-data", "slave-ack", "inv-ack", "home-data", "home-ack", "nack",
+	"update-write", "update-data", "update-ack",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Request reports whether k is a master-originated request.
+func (k Kind) Request() bool {
+	return (k >= ReadShared && k <= WriteBack) || k == UpdateWrite
+}
+
+// ToSlave reports whether k is delivered to a slave module.
+func (k Kind) ToSlave() bool {
+	return (k >= FwdReadShared && k <= Invalidate) || k == UpdateData
+}
+
+// ToHome reports whether k is delivered to a home module.
+func (k Kind) ToHome() bool {
+	return k.Request() || (k >= SlaveData && k <= InvAck) || k == UpdateAck
+}
+
+// ToMaster reports whether k is delivered to a master module.
+func (k Kind) ToMaster() bool { return k == HomeData || k == HomeAck || k == Nack }
+
+// HeaderBytes is the size of a message header on the wire.
+const HeaderBytes = 16
+
+// Gather carries in-network reply-combining state. Every invalidation
+// acknowledgement produced for the same multicast shares one Gather; the
+// network merges them switch by switch so the home receives exactly one
+// InvAck.
+type Gather struct {
+	// ID distinguishes concurrent gatherings. The hardware uses a
+	// 10-bit identifier and a 1024-entry table per switch; the simulator
+	// allocates IDs from a monotonic counter and keys switch tables by
+	// ID, a behavioral superset (peak concurrency is tracked in network
+	// stats and stays far below 1024 in every experiment).
+	ID uint64
+	// Spec is the destination set of the original multicast; switches
+	// derive their wait patterns from it.
+	Spec directory.Dest
+	// Home is the node collecting the gathered reply.
+	Home topology.NodeID
+	// Merged counts replies combined into this message (>= 1).
+	Merged int
+}
+
+// Message is one coherence message.
+type Message struct {
+	Kind Kind
+	Src  topology.NodeID
+	// Dest identifies the receiving node(s). Requests and replies are
+	// singlecast; Invalidate carries the directory's pointer or
+	// bit-pattern structure and is multicast.
+	Dest directory.Dest
+	// Addr is the target block address (block-aligned).
+	Addr topology.Addr
+	// Master is the node whose processor originated the transaction;
+	// preserved across forwarding so replies can be routed and so a
+	// master's own slave module can recognize self-invalidations that
+	// an imprecise node map or an ownership multicast may carry.
+	Master topology.NodeID
+	// HasData marks a 128-byte payload.
+	HasData bool
+	// Excl marks a HomeData reply granting an exclusive copy (the
+	// master caches E on a load, M on a store). Without it the copy is
+	// Shared.
+	Excl bool
+	// OrigKind preserves the master's original request kind across
+	// forwarding and nacks (for retry and statistics).
+	OrigKind Kind
+	// Gather is non-nil on gatherable replies (InvAck).
+	Gather *Gather
+	// SentAt is the simulation time the message entered the network.
+	SentAt sim.Time
+}
+
+// GatherContribution reports whether this message is a reply to be
+// combined in-network: it carries a Gather and is singlecast to the
+// gather's home. (An Invalidate multicast also carries the Gather — as
+// metadata for the slaves — but is not itself a contribution.)
+func (m *Message) GatherContribution() bool {
+	return m.Gather != nil && !m.Dest.IsPattern &&
+		len(m.Dest.Pointers) == 1 && m.Dest.Pointers[0] == m.Gather.Home
+}
+
+// Bytes returns the wire size of the message.
+func (m *Message) Bytes() int {
+	if m.HasData {
+		return HeaderBytes + topology.BlockSize
+	}
+	return HeaderBytes
+}
+
+func (m *Message) String() string {
+	d := ""
+	if m.HasData {
+		d = "+data"
+	}
+	return fmt.Sprintf("%v%s %v->dest(%d) %v master=%v", m.Kind, d, m.Src, m.Dest.Count(), m.Addr, m.Master)
+}

@@ -1,0 +1,133 @@
+package network
+
+import (
+	"math/rand"
+	"testing"
+
+	"cenju4/internal/directory"
+	"cenju4/internal/msg"
+	"cenju4/internal/sim"
+	"cenju4/internal/topology"
+)
+
+// Property: for ANY random sharer set on ANY machine size, a multicast
+// followed by gathered replies from every delivered copy produces
+// exactly one message at the home, with Merged equal to the delivered
+// copy count. This exercises the wait-pattern computation (the paper's
+// per-switch calculation) against the full cross-product structure of
+// bit-pattern destinations.
+func TestPropertyGatherAlwaysCompletes(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < 120; trial++ {
+		nodes := 1 << (2 + rng.Intn(9)) // 4..1024
+		eng := sim.NewEngine()
+		net := New(eng, Config{Nodes: nodes, Multicast: true})
+
+		// Random sharers, random home.
+		home := topology.NodeID(rng.Intn(nodes))
+		var e directory.Entry
+		k := 1 + rng.Intn(12)
+		for i := 0; i < k; i++ {
+			e.MapAdd(topology.NodeID(rng.Intn(nodes)))
+		}
+		spec := e.Dest()
+		members := spec.Members(nil, nodes)
+
+		// Deliver the multicast, collect which nodes got copies.
+		delivered := map[topology.NodeID]bool{}
+		homeGot := 0
+		var merged int
+		for i := 0; i < nodes; i++ {
+			node := topology.NodeID(i)
+			net.Attach(node, func(m *msg.Message) {
+				switch m.Kind {
+				case msg.Invalidate:
+					delivered[node] = true
+				case msg.InvAck:
+					homeGot++
+					merged = m.Gather.Merged
+				}
+			})
+		}
+		net.Send(&msg.Message{Kind: msg.Invalidate, Src: home, Dest: spec, Addr: topology.SharedAddr(home, 0), Master: home})
+		eng.Run()
+
+		if len(delivered) != len(members) {
+			t.Fatalf("trial %d (nodes=%d): delivered %d copies, decoded %d members",
+				trial, nodes, len(delivered), len(members))
+		}
+
+		// Every delivered node replies; the home must see exactly one
+		// gathered message accounting for all of them.
+		g := net.AllocGather(spec, home)
+		for _, m := range members {
+			net.Send(&msg.Message{Kind: msg.InvAck, Src: m, Dest: directory.Single(home), Gather: g})
+		}
+		eng.Run()
+		if homeGot != 1 {
+			t.Fatalf("trial %d (nodes=%d, k=%d, members=%d): home received %d gathered messages",
+				trial, nodes, k, len(members), homeGot)
+		}
+		if merged != len(members) {
+			t.Fatalf("trial %d: merged %d, want %d", trial, merged, len(members))
+		}
+	}
+}
+
+// Property: multicast port computation never delivers to a node outside
+// the decoded destination set, for random pointer-form destinations too.
+func TestPropertyMulticastExactness(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 100; trial++ {
+		nodes := 1 << (2 + rng.Intn(9))
+		eng := sim.NewEngine()
+		net := New(eng, Config{Nodes: nodes, Multicast: true})
+		var e directory.Entry
+		k := 1 + rng.Intn(7)
+		for i := 0; i < k; i++ {
+			e.MapAdd(topology.NodeID(rng.Intn(nodes)))
+		}
+		spec := e.Dest()
+		want := map[topology.NodeID]bool{}
+		for _, m := range spec.Members(nil, nodes) {
+			want[m] = true
+		}
+		got := map[topology.NodeID]bool{}
+		for i := 0; i < nodes; i++ {
+			node := topology.NodeID(i)
+			net.Attach(node, func(*msg.Message) { got[node] = true })
+		}
+		net.Send(&msg.Message{Kind: msg.Invalidate, Src: 0, Dest: spec, Addr: topology.SharedAddr(0, 0)})
+		eng.Run()
+		for n := range got {
+			if !want[n] {
+				t.Fatalf("trial %d: node %v got a copy but is not a destination", trial, n)
+			}
+		}
+		for n := range want {
+			if !got[n] {
+				t.Fatalf("trial %d: destination %v missed", trial, n)
+			}
+		}
+	}
+}
+
+func TestContentionStats(t *testing.T) {
+	eng := sim.NewEngine()
+	net := New(eng, Config{Nodes: 16, Multicast: true})
+	for i := 0; i < 16; i++ {
+		net.Attach(topology.NodeID(i), func(*msg.Message) {})
+	}
+	// A burst through one destination forces port contention.
+	for i := 1; i < 16; i++ {
+		net.Send(&msg.Message{Kind: msg.ReadShared, Src: topology.NodeID(i), Dest: directory.Single(0), Addr: topology.SharedAddr(0, 0)})
+	}
+	eng.Run()
+	st := net.Stats()
+	if st.ContendedHops == 0 {
+		t.Fatal("no contention recorded under a burst")
+	}
+	if st.MaxPortBacklog == 0 {
+		t.Fatal("no backlog recorded")
+	}
+}

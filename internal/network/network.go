@@ -1,0 +1,440 @@
+// Package network models the Cenju-4 multistage interconnection
+// network: columns of 4x4 crossbar switches with a unique path between
+// any two nodes (hence in-order delivery), crosspoint-buffer output
+// contention with virtual cut-through flow control, and the two features
+// the DSM depends on — multicast replication of invalidation requests
+// and in-network gathering of their replies.
+//
+// Geometry. A machine of N nodes uses S = topology.StagesForNodes(N)
+// switch columns (2, 4 or 6 — the configurations of the paper), each
+// with 4^(S-1) switches. Routing is butterfly-style: stage k replaces
+// radix-4 digit k of the source address with digit k of the destination,
+// so a message from s to d at stage k sits in the switch whose
+// coordinates are d[0..k-1] ++ s[k+1..S-1] and leaves on output port
+// d[k]. Every src-dst pair crosses exactly S switches.
+//
+// Multicast. An invalidation carries the directory's own destination
+// structure (pointer list or bit-pattern). At each stage the switch
+// computes which output ports lead to at least one destination — a
+// partial-match query on the structure (directory.Dest.AnyMatch), the
+// "calculation in the switch" of the paper — and replicates the message
+// into the corresponding crosspoint buffers, one replication slot per
+// extra copy.
+//
+// Gathering. Replies to one multicast share a Gather identifier. Replies
+// to home h from sources with equal digit suffixes converge in the same
+// switches; each switch derives a wait pattern (which input ports will
+// contribute) from the original multicast destination structure and its
+// own position, absorbs all but the last contribution, and forwards one
+// combined message. The home receives exactly one reply per multicast.
+//
+// Timing. Latency accumulates per hop from timing.Params; each switch
+// output port and each node injection/ejection port is a serialized
+// resource, which is what produces the linear no-multicast curve and the
+// hot-spot effects of Figure 10. Paths are computed when the message is
+// sent (port reservations are made immediately), and only the deliveries
+// are scheduled as events; this keeps large runs cheap while preserving
+// per-pair ordering and determinism.
+package network
+
+import (
+	"fmt"
+
+	"cenju4/internal/directory"
+	"cenju4/internal/msg"
+	"cenju4/internal/sim"
+	"cenju4/internal/timing"
+	"cenju4/internal/topology"
+)
+
+// Handler receives messages delivered to a node.
+type Handler func(*msg.Message)
+
+// Config parameterizes a network instance.
+type Config struct {
+	// Nodes is the number of attached nodes (power of two, <= 1024).
+	Nodes int
+	// Stages overrides the stage count; 0 selects the paper's value for
+	// Nodes (2, 4 or 6).
+	Stages int
+	// Multicast enables the multicast and gathering functions. When
+	// false the protocol layer falls back to singlecast invalidations
+	// and individually delivered acknowledgements (the paper's
+	// estimated comparison in Figure 10).
+	Multicast bool
+	// Params supplies latency constants; zero value means timing.Default().
+	Params timing.Params
+}
+
+func (c Config) withDefaults() Config {
+	if c.Stages == 0 {
+		c.Stages = topology.StagesForNodes(c.Nodes)
+	}
+	if c.Params == (timing.Params{}) {
+		c.Params = timing.Default()
+	}
+	return c
+}
+
+// Stats aggregates network activity counters.
+type Stats struct {
+	Messages     uint64 // Send calls
+	Deliveries   uint64 // endpoint deliveries (multicast copies count individually)
+	Hops         uint64 // switch traversals
+	Multicasts   uint64 // multicast Send calls
+	Gathers      uint64 // gather groups allocated
+	GatherMerges uint64 // replies absorbed inside the network
+	PeakGathers  int    // peak concurrently active gather groups
+	DataMessages uint64 // messages carrying a block payload
+	// ContendedHops counts switch-port claims that had to wait for the
+	// port (the message sat in a crosspoint buffer).
+	ContendedHops uint64
+	// MaxPortBacklog is the longest such wait — a proxy for the deepest
+	// crosspoint-buffer residence time the run produced.
+	MaxPortBacklog sim.Time
+}
+
+type gatherEntry struct {
+	waitMask uint8
+	latest   sim.Time
+	merged   int
+}
+
+type switchState struct {
+	portBusy [topology.SwitchRadix]sim.Time
+	gathers  map[uint64]*gatherEntry
+}
+
+// Network is a simulated multistage interconnection network.
+type Network struct {
+	eng      *sim.Engine
+	cfg      Config
+	stages   int
+	perStage int
+	switches []switchState // stage-major: [stage*perStage + index]
+	inject   []sim.Time    // per-node injection port busy-until
+	eject    []sim.Time    // per-node ejection port busy-until
+	handlers []Handler
+	stats    Stats
+
+	nextGatherID  uint64
+	activeGathers int
+}
+
+// New builds a network. The engine drives delivery events.
+func New(eng *sim.Engine, cfg Config) *Network {
+	cfg = cfg.withDefaults()
+	if !topology.ValidNodeCount(cfg.Nodes) {
+		panic(fmt.Sprintf("network: invalid node count %d", cfg.Nodes))
+	}
+	if cfg.Stages < 1 || 2*cfg.Stages > 32 {
+		panic(fmt.Sprintf("network: invalid stage count %d", cfg.Stages))
+	}
+	if 1<<(2*cfg.Stages) < cfg.Nodes {
+		panic(fmt.Sprintf("network: %d stages cannot address %d nodes", cfg.Stages, cfg.Nodes))
+	}
+	perStage := 1 << (2 * (cfg.Stages - 1))
+	n := &Network{
+		eng:      eng,
+		cfg:      cfg,
+		stages:   cfg.Stages,
+		perStage: perStage,
+		switches: make([]switchState, cfg.Stages*perStage),
+		inject:   make([]sim.Time, cfg.Nodes),
+		eject:    make([]sim.Time, cfg.Nodes),
+		handlers: make([]Handler, cfg.Nodes),
+	}
+	return n
+}
+
+// Stages returns the stage count.
+func (n *Network) Stages() int { return n.stages }
+
+// Nodes returns the attached node count.
+func (n *Network) Nodes() int { return n.cfg.Nodes }
+
+// MulticastEnabled reports whether the multicast/gathering functions are on.
+func (n *Network) MulticastEnabled() bool { return n.cfg.Multicast }
+
+// Stats returns a snapshot of the activity counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// Attach registers the delivery handler for a node. Must be called for
+// every node before traffic reaches it.
+func (n *Network) Attach(node topology.NodeID, h Handler) {
+	n.handlers[node] = h
+}
+
+// digit returns radix-4 digit k (0 = most significant of the
+// stage-count-wide address) of node x.
+func (n *Network) digit(x int, k int) int {
+	return x >> (2 * (n.stages - 1 - k)) & 3
+}
+
+// switchFor returns the switch at stage k on the path from src to dst:
+// coordinates dst[0..k-1] ++ src[k+1..S-1].
+func (n *Network) switchFor(k, src, dst int) *switchState {
+	idx := 0
+	for j := 0; j < k; j++ {
+		idx = idx<<2 | n.digit(dst, j)
+	}
+	for j := k + 1; j < n.stages; j++ {
+		idx = idx<<2 | n.digit(src, j)
+	}
+	return &n.switches[k*n.perStage+idx]
+}
+
+// claim serializes use of a port resource: the transfer starts when both
+// the message has arrived (t) and the port is free; the port then stays
+// busy for ser. Returns the start time and records contention.
+func (n *Network) claim(busy *sim.Time, t, ser sim.Time) sim.Time {
+	start := t
+	if *busy > start {
+		start = *busy
+		if wait := start - t; wait > 0 {
+			n.stats.ContendedHops++
+			if wait > n.stats.MaxPortBacklog {
+				n.stats.MaxPortBacklog = wait
+			}
+		}
+	}
+	*busy = start + ser
+	return start
+}
+
+func (n *Network) hopSer(data bool) (hop, ser sim.Time) {
+	p := n.cfg.Params
+	if data {
+		return p.SwitchHopData, p.SerializeData
+	}
+	return p.SwitchHopCtl, p.SerializeCtl
+}
+
+// walkUnicast reserves the path src->dst starting at time t and returns
+// the arrival time at the destination node.
+func (n *Network) walkUnicast(src, dst int, t sim.Time, data bool) sim.Time {
+	p := n.cfg.Params
+	hop, ser := n.hopSer(data)
+	t = n.claim(&n.inject[src], t, ser) + p.NetFixed/2
+	for k := 0; k < n.stages; k++ {
+		sw := n.switchFor(k, src, dst)
+		port := n.digit(dst, k)
+		start := n.claim(&sw.portBusy[port], t, ser)
+		t = start + hop
+		n.stats.Hops++
+	}
+	return n.claim(&n.eject[dst], t, ser) + p.NetFixed/2
+}
+
+// deliver schedules the handler invocation for node at time t.
+func (n *Network) deliver(m *msg.Message, node topology.NodeID, t sim.Time) {
+	h := n.handlers[node]
+	if h == nil {
+		panic(fmt.Sprintf("network: no handler attached at %v", node))
+	}
+	n.stats.Deliveries++
+	n.eng.At(t, func() { h(m) })
+}
+
+// Send injects a message. Singlecast messages go to the single node in
+// m.Dest; multi-destination messages are multicast (or expanded to
+// singlecasts when multicast is disabled); messages with a Gather are
+// combined in-network on their way to the gather's home node.
+func (n *Network) Send(m *msg.Message) {
+	now := n.eng.Now()
+	m.SentAt = now
+	n.stats.Messages++
+	if m.HasData {
+		n.stats.DataMessages++
+	}
+	if m.GatherContribution() {
+		n.walkGather(m, now)
+		return
+	}
+	members := m.Dest.Members(nil, n.cfg.Nodes)
+	switch {
+	case len(members) == 0:
+		panic("network: message with empty destination")
+	case len(members) == 1:
+		t := n.walkUnicast(int(m.Src), int(members[0]), now, m.HasData)
+		n.deliver(m, members[0], t)
+	default:
+		if n.cfg.Multicast {
+			n.stats.Multicasts++
+			n.walkMulticast(m, now)
+		} else {
+			// Singlecast expansion: the source injects one copy per
+			// destination, serialized at its injection port.
+			for _, d := range members {
+				cp := *m
+				cp.Dest = directory.Single(d)
+				t := n.walkUnicast(int(m.Src), int(d), now, m.HasData)
+				n.deliver(&cp, d, t)
+			}
+		}
+	}
+}
+
+// destHasPrefix reports whether any destination's address (stage-width)
+// begins with the given digit prefix.
+func (n *Network) destHasPrefix(d directory.Dest, prefix, digits int) bool {
+	totalBits := 2 * n.stages
+	shift := totalBits - 2*digits
+	mask := uint32(1)<<(2*digits) - 1
+	value := uint32(prefix)
+	if shift >= 32 {
+		return false
+	}
+	mask <<= shift
+	value <<= shift
+	if value>>topology.NodeBits != 0 {
+		return false // prefix requires address bits above the node width
+	}
+	// Bits of the mask above the node width are satisfied by every real
+	// node (their address bits there are zero), so clip the mask.
+	mask &= 1<<topology.NodeBits - 1
+	return d.AnyMatch(mask, value)
+}
+
+// walkMulticast replicates m down the switch tree. At stage k a copy
+// identified by its chosen digit prefix fans out to every port whose
+// extended prefix still covers a destination.
+func (n *Network) walkMulticast(m *msg.Message, t sim.Time) {
+	p := n.cfg.Params
+	_, ser := n.hopSer(m.HasData)
+	start := n.claim(&n.inject[int(m.Src)], t, ser)
+	n.mcStep(m, 0, 0, start+p.NetFixed/2)
+}
+
+func (n *Network) mcStep(m *msg.Message, k, prefix int, t sim.Time) {
+	p := n.cfg.Params
+	if k == n.stages {
+		node := topology.NodeID(prefix)
+		if int(node) >= n.cfg.Nodes {
+			return
+		}
+		_, ser := n.hopSer(m.HasData)
+		arr := n.claim(&n.eject[int(node)], t, ser) + p.NetFixed/2
+		cp := *m
+		cp.Dest = directory.Single(node)
+		n.deliver(&cp, node, arr)
+		return
+	}
+	hop, ser := n.hopSer(m.HasData)
+	sw := n.mcSwitch(m, k, prefix)
+	copyIdx := 0
+	for d := 0; d < topology.SwitchRadix; d++ {
+		if !n.destHasPrefix(m.Dest, prefix<<2|d, k+1) {
+			continue
+		}
+		depart := t + sim.Time(copyIdx)*p.ReplicateSlot
+		start := n.claim(&sw.portBusy[d], depart, ser)
+		n.stats.Hops++
+		n.mcStep(m, k+1, prefix<<2|d, start+hop)
+		copyIdx++
+	}
+}
+
+// mcSwitch returns the switch a multicast copy occupies at stage k:
+// coordinates prefix ++ src[k+1..S-1].
+func (n *Network) mcSwitch(m *msg.Message, k, prefix int) *switchState {
+	src := int(m.Src)
+	idx := prefix
+	for j := k + 1; j < n.stages; j++ {
+		idx = idx<<2 | n.digit(src, j)
+	}
+	return &n.switches[k*n.perStage+idx]
+}
+
+// AllocGather creates a gather group for a multicast with the given
+// destination structure, collecting at home. The caller attaches the
+// returned Gather to every reply of the group.
+func (n *Network) AllocGather(spec directory.Dest, home topology.NodeID) *msg.Gather {
+	n.nextGatherID++
+	n.stats.Gathers++
+	n.activeGathers++
+	if n.activeGathers > n.stats.PeakGathers {
+		n.stats.PeakGathers = n.activeGathers
+	}
+	return &msg.Gather{ID: n.nextGatherID, Spec: spec, Home: home}
+}
+
+// waitPattern computes, for the switch at reply-stage k on the path of a
+// reply from src to the gather home, the set of input ports that will
+// carry contributions of this gather: port p is expected when some
+// multicast destination has digit k equal to p and the same digit suffix
+// as src (those are exactly the members whose replies converge here).
+func (n *Network) waitPattern(spec directory.Dest, src, k int) uint8 {
+	w := 2 * (n.stages - k) // bits covering digits k..S-1
+	suffixBits := uint32(src) & (1<<(w-2) - 1)
+	var mask uint32 = 1<<w - 1
+	if w > topology.NodeBits {
+		mask = 1<<topology.NodeBits - 1
+	}
+	var pat uint8
+	for p := 0; p < topology.SwitchRadix; p++ {
+		value := uint32(p)<<(w-2) | suffixBits
+		if value>>topology.NodeBits != 0 {
+			continue
+		}
+		if spec.AnyMatch(mask, value) {
+			pat |= 1 << p
+		}
+	}
+	return pat
+}
+
+// walkGather advances one gather contribution from m.Src toward the
+// home, merging with sibling contributions at every stage.
+func (n *Network) walkGather(m *msg.Message, t sim.Time) {
+	p := n.cfg.Params
+	hop, ser := n.hopSer(m.HasData)
+	g := m.Gather
+	if g.Merged == 0 {
+		g.Merged = 1
+	}
+	src, home := int(m.Src), int(g.Home)
+	t = n.claim(&n.inject[src], t, ser) + p.NetFixed/2
+	merged := g.Merged
+	for k := 0; k < n.stages; k++ {
+		sw := n.switchFor(k, src, home)
+		if sw.gathers == nil {
+			sw.gathers = make(map[uint64]*gatherEntry)
+		}
+		ge := sw.gathers[g.ID]
+		if ge == nil {
+			ge = &gatherEntry{waitMask: n.waitPattern(g.Spec, src, k)}
+			sw.gathers[g.ID] = ge
+		}
+		inPort := n.digit(src, k)
+		ge.waitMask &^= 1 << inPort
+		ge.merged += merged
+		if t > ge.latest {
+			ge.latest = t
+		}
+		if ge.waitMask != 0 {
+			// Earlier contribution: absorbed here, removed from the buffer.
+			n.stats.GatherMerges++
+			return
+		}
+		// Last contribution: forward the combined message.
+		merged = ge.merged
+		t = ge.latest + p.GatherMerge
+		delete(sw.gathers, g.ID)
+		port := n.digit(home, k)
+		start := n.claim(&sw.portBusy[port], t, ser)
+		t = start + hop
+		n.stats.Hops++
+	}
+	t = n.claim(&n.eject[home], t, ser) + p.NetFixed/2
+	g.Merged = merged
+	n.activeGathers--
+	n.deliver(m, topology.NodeID(home), t)
+}
+
+// UncontendedLatency returns the zero-load latency of one traversal —
+// useful for calibration tests and the analytic comparisons in the
+// experiment harness.
+func (n *Network) UncontendedLatency(data bool) sim.Time {
+	return n.cfg.Params.Traversal(n.stages, data)
+}

@@ -1,0 +1,210 @@
+// Package npb provides the synthetic NAS Parallel Benchmark kernels the
+// paper evaluates (BT, CG, FT, SP from NPB V2.3 Class A), in the four
+// program forms of Section 4.2:
+//
+//	seq    — the sequential program (one node, all private memory)
+//	mpi    — the message-passing parallelization (private memory + explicit
+//	         communication over the message-passing mechanism)
+//	dsm(1) — shared memory, parallelized only on the outermost loop
+//	dsm(2) — shared memory, optimized: loop translations, divided arrays,
+//	         and work arrays mapped to private memory
+//
+// The kernels are synthetic in the sense that they reproduce each
+// application's memory-access *structure* — decomposition, sharing
+// pattern, reuse distances, communication volume — at a configurable
+// scale, not its arithmetic. DESIGN.md documents why this substitution
+// preserves the evaluation's conclusions: parallel efficiency is
+// determined by the ratio of compute to coherence traffic, which these
+// structures carry.
+//
+// Each build also reports the program-rewriting ratio of Figure 11(a),
+// computed from a transformation model of the source programs (see
+// rewrite.go).
+package npb
+
+import (
+	"fmt"
+
+	"cenju4/internal/cpu"
+	"cenju4/internal/shmem"
+	"cenju4/internal/topology"
+)
+
+// App identifies one of the four applications.
+type App uint8
+
+const (
+	BT App = iota
+	CG
+	FT
+	SP
+)
+
+func (a App) String() string {
+	switch a {
+	case BT:
+		return "BT"
+	case CG:
+		return "CG"
+	case FT:
+		return "FT"
+	case SP:
+		return "SP"
+	}
+	return fmt.Sprintf("App(%d)", uint8(a))
+}
+
+// Apps lists all four applications in paper order.
+func Apps() []App { return []App{BT, CG, FT, SP} }
+
+// Variant identifies a program form.
+type Variant uint8
+
+const (
+	Seq Variant = iota
+	MPI
+	DSM1
+	DSM2
+)
+
+func (v Variant) String() string {
+	switch v {
+	case Seq:
+		return "seq"
+	case MPI:
+		return "mpi"
+	case DSM1:
+		return "dsm(1)"
+	case DSM2:
+		return "dsm(2)"
+	}
+	return fmt.Sprintf("Variant(%d)", uint8(v))
+}
+
+// Options selects and sizes a workload build.
+type Options struct {
+	App     App
+	Variant Variant
+	// Nodes is the machine size the programs will run on.
+	Nodes int
+	// DataMapping applies the shared-data mappings (dsm variants only;
+	// false reproduces the "no data mappings" rows).
+	DataMapping bool
+	// Iterations is the number of outer time steps (default 2).
+	Iterations int
+	// Scale shrinks the Class A problem (1.0 = Class A; default 0.05,
+	// which keeps unit tests fast; the benchmark harness uses larger).
+	Scale float64
+	// UpdateProtocol marks the application's hot shared region for the
+	// update-type protocol extension (the paper's Section 4.2.3
+	// proposal for CG). The built Workload exposes the region through
+	// UpdateMode; the machine must be configured with it.
+	UpdateProtocol bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Iterations == 0 {
+		o.Iterations = 2
+	}
+	if o.Scale == 0 {
+		o.Scale = 0.05
+	}
+	return o
+}
+
+// Workload is a built set of per-node programs plus metadata.
+type Workload struct {
+	Progs []cpu.Program
+	Meta  Meta
+	// UpdateMode is non-nil when Options.UpdateProtocol was set: it
+	// identifies the blocks to run under the update-type protocol.
+	// Pass it to machine.Config.UpdateMode.
+	UpdateMode func(topology.Addr) bool
+}
+
+// Meta describes a built workload.
+type Meta struct {
+	App     App
+	Variant Variant
+	Nodes   int
+	Mapped  bool
+	// Points is the scaled main-array element count.
+	Points int
+	// RewriteRatio is the Figure 11(a) program-rewriting ratio.
+	RewriteRatio float64
+}
+
+// classASizes holds the problem dimensions at Scale = 1.
+var classASizes = map[App]struct {
+	points int // main array elements
+	nnz    int // CG matrix nonzeros
+}{
+	BT: {points: 262144},              // 64^3 grid
+	SP: {points: 262144},              // 64^3 grid
+	FT: {points: 4194304},             // 256x256x64 complex grid
+	CG: {points: 14000, nnz: 1853104}, // na=14000 rows
+}
+
+// Build constructs the per-node programs for opts.
+func Build(opts Options) (*Workload, error) {
+	opts = opts.withDefaults()
+	if opts.Variant == Seq && opts.Nodes != 1 {
+		return nil, fmt.Errorf("npb: seq variant requires 1 node, got %d", opts.Nodes)
+	}
+	if opts.Nodes < 1 {
+		return nil, fmt.Errorf("npb: invalid node count %d", opts.Nodes)
+	}
+	sz := classASizes[opts.App]
+	points := scaleTo(sz.points, opts.Scale, opts.Nodes)
+	w := &Workload{
+		Meta: Meta{
+			App:          opts.App,
+			Variant:      opts.Variant,
+			Nodes:        opts.Nodes,
+			Mapped:       opts.DataMapping,
+			Points:       points,
+			RewriteRatio: RewriteRatio(opts.App, opts.Variant, opts.DataMapping),
+		},
+	}
+	alloc := shmem.NewAllocator(opts.Nodes)
+	var region *shmem.Region
+	switch opts.App {
+	case BT:
+		w.Progs, region = buildGridSolver(opts, alloc, points, gridParams{
+			compute: 16, zFraction: 1.3, dsm2CopyFrac: 0.06, sweeps: 3,
+		})
+	case SP:
+		w.Progs, region = buildGridSolver(opts, alloc, points, gridParams{
+			compute: 6, zFraction: 1.5, dsm2CopyFrac: 0.2, sweeps: 3,
+		})
+	case FT:
+		w.Progs, region = buildFT(opts, alloc, points)
+	case CG:
+		w.Progs, region = buildCG(opts, alloc, points, scaleTo(sz.nnz, opts.Scale, opts.Nodes))
+	default:
+		return nil, fmt.Errorf("npb: unknown app %v", opts.App)
+	}
+	if opts.UpdateProtocol {
+		w.UpdateMode = region.Contains
+	}
+	return w, nil
+}
+
+// scaleTo scales a Class A dimension and rounds it up to a multiple of
+// one cache block per node, so partitions are block-aligned.
+func scaleTo(n int, scale float64, nodes int) int {
+	v := int(float64(n) * scale)
+	unit := 16 * nodes // elements per block x nodes
+	if v < unit {
+		v = unit
+	}
+	return (v + unit - 1) / unit * unit
+}
+
+// mapping returns the shared mapping the options imply.
+func mapping(opts Options) shmem.Mapping {
+	if opts.DataMapping {
+		return shmem.MapBlocked
+	}
+	return shmem.MapNone
+}

@@ -1,0 +1,205 @@
+package npb
+
+import (
+	"cenju4/internal/cpu"
+	"cenju4/internal/shmem"
+	"cenju4/internal/topology"
+)
+
+// phase is a restartable generator of operations. Programs are built as
+// sequences of phases repeated over iterations, so multi-million-access
+// workloads never materialize op slices.
+type phase interface {
+	next() (cpu.Op, bool)
+}
+
+// opPhase emits a fixed slice of ops (collectives, small sequences).
+type opPhase struct {
+	ops []cpu.Op
+	pos int
+}
+
+func (p *opPhase) next() (cpu.Op, bool) {
+	if p.pos >= len(p.ops) {
+		return cpu.Op{}, false
+	}
+	op := p.ops[p.pos]
+	p.pos++
+	return op, true
+}
+
+func barrier() phase             { return &opPhase{ops: []cpu.Op{{Kind: cpu.OpBarrier}}} }
+func allReduce(n uint64) phase   { return &opPhase{ops: []cpu.Op{{Kind: cpu.OpAllReduce, N: n}}} }
+func computeOnly(n uint64) phase { return &opPhase{ops: []cpu.Op{{Kind: cpu.OpCompute, N: n}}} }
+
+func send(dst topology.NodeID, bytes uint64) cpu.Op {
+	return cpu.Op{Kind: cpu.OpSend, Dst: dst, N: bytes}
+}
+func recv(src topology.NodeID) cpu.Op {
+	return cpu.Op{Kind: cpu.OpRecv, Dst: src}
+}
+
+// addrAt abstracts shared and private regions.
+type addrFn func(i int) topology.Addr
+
+func sharedAt(r *shmem.Region) addrFn      { return r.Addr }
+func privateAt(r *shmem.PrivRegion) addrFn { return r.Addr }
+
+// streamPhase sweeps elements [lo,hi) with the given stride, emitting
+// per element: a load, `compute` instructions, and a store every
+// storeEvery-th element (0 = never). Sequential strides get the block's
+// natural 1-in-16 miss locality; large strides model scatter access.
+type streamPhase struct {
+	at         addrFn
+	lo, hi     int
+	stride     int
+	compute    uint64
+	storeEvery int
+
+	i     int
+	state int // 0 = load, 1 = compute, 2 = store
+	count int
+}
+
+func stream(at addrFn, lo, hi, stride int, compute uint64, storeEvery int) phase {
+	if stride == 0 {
+		stride = 1
+	}
+	return &streamPhase{at: at, lo: lo, hi: hi, stride: stride, compute: compute, storeEvery: storeEvery, i: lo}
+}
+
+func (p *streamPhase) next() (cpu.Op, bool) {
+	for {
+		if p.i >= p.hi || p.i < p.lo {
+			return cpu.Op{}, false
+		}
+		switch p.state {
+		case 0:
+			p.state = 1
+			return cpu.Op{Kind: cpu.OpLoad, Addr: p.at(p.i)}, true
+		case 1:
+			p.state = 2
+			if p.compute > 0 {
+				return cpu.Op{Kind: cpu.OpCompute, N: p.compute}, true
+			}
+		case 2:
+			doStore := p.storeEvery > 0 && (p.count%p.storeEvery) == p.storeEvery-1
+			addr := p.at(p.i)
+			p.count++
+			p.i += p.stride
+			p.state = 0
+			if doStore {
+				return cpu.Op{Kind: cpu.OpStore, Addr: addr}, true
+			}
+		}
+	}
+}
+
+// wrapStreamPhase sweeps `count` elements starting at `start` modulo the
+// region length — used for transpose-style reads of other nodes'
+// partitions and for CG's full-vector coverage.
+type wrapStreamPhase struct {
+	at         addrFn
+	n          int
+	start      int
+	count      int
+	stride     int
+	compute    uint64
+	storeEvery int
+	pair       addrFn // optional second (private) access per element
+	pairIdx    int
+	pairLen    int
+
+	i     int
+	state int
+}
+
+func wrapStream(at addrFn, n, start, count, stride int, compute uint64) phase {
+	if stride == 0 {
+		stride = 1
+	}
+	return &wrapStreamPhase{at: at, n: n, start: start % n, count: count, stride: stride, compute: compute}
+}
+
+// rotStream sweeps `count` elements of a large private buffer starting
+// at a pass-dependent offset, with a store every storeEvery-th element.
+// Rotating the start across passes models a working set larger than the
+// cache (the NPB solvers touch several state arrays per point), so
+// streaming passes miss at the block rate on every machine size — the
+// sequential baseline included — instead of turning into a cache-fit
+// artifact at high node counts.
+func rotStream(priv *shmem.PrivRegion, pass, count int, compute uint64, storeEvery int) phase {
+	p := wrapStream(privateAt(priv), priv.Len(), pass*count, count, 1, compute).(*wrapStreamPhase)
+	p.storeEvery = storeEvery
+	return p
+}
+
+// pairedStream is wrapStream plus one private access per element — the
+// CG inner loop: load A[j] (private), load p[col] (shared), compute.
+func pairedStream(shared addrFn, n, start, count, stride int, priv addrFn, privLen int, compute uint64) phase {
+	p := wrapStream(shared, n, start, count, stride, compute).(*wrapStreamPhase)
+	p.pair = priv
+	p.pairLen = privLen
+	return p
+}
+
+func (p *wrapStreamPhase) next() (cpu.Op, bool) {
+	for {
+		if p.i >= p.count {
+			return cpu.Op{}, false
+		}
+		switch p.state {
+		case 0:
+			p.state = 1
+			if p.pair != nil {
+				idx := p.pairIdx % p.pairLen
+				p.pairIdx++
+				return cpu.Op{Kind: cpu.OpLoad, Addr: p.pair(idx)}, true
+			}
+		case 1:
+			p.state = 2
+			idx := (p.start + p.i*p.stride) % p.n
+			return cpu.Op{Kind: cpu.OpLoad, Addr: p.at(idx)}, true
+		case 2:
+			doStore := p.storeEvery > 0 && p.i%p.storeEvery == p.storeEvery-1
+			idx := (p.start + p.i*p.stride) % p.n
+			p.state = 0
+			p.i++
+			if doStore {
+				return cpu.Op{Kind: cpu.OpStore, Addr: p.at(idx)}, true
+			}
+			if p.compute > 0 {
+				return cpu.Op{Kind: cpu.OpCompute, N: p.compute}, true
+			}
+		}
+	}
+}
+
+// program assembles per-iteration phase lists into a cpu.Program.
+func program(iters int, build func(iter int) []phase) cpu.Program {
+	iter := 0
+	var cur []phase
+	idx := 0
+	return cpu.FuncProgram(func() (cpu.Op, bool) {
+		for {
+			if cur == nil {
+				if iter >= iters {
+					return cpu.Op{}, false
+				}
+				cur = build(iter)
+				idx = 0
+				iter++
+			}
+			if idx >= len(cur) {
+				cur = nil
+				continue
+			}
+			op, ok := cur[idx].next()
+			if !ok {
+				idx++
+				continue
+			}
+			return op, true
+		}
+	})
+}

@@ -1,0 +1,166 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel is a single-threaded event queue ordered by (time, sequence
+// number). Ties on time are broken by insertion order, which makes every
+// simulation fully deterministic for a given input. All Cenju-4 component
+// models (switches, caches, protocol modules, processors) schedule work
+// through one Engine.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is simulated time in nanoseconds.
+type Time uint64
+
+// Nanoseconds returns t as a plain uint64 nanosecond count.
+func (t Time) Nanoseconds() uint64 { return uint64(t) }
+
+// Microseconds returns t converted to microseconds as a float.
+func (t Time) Microseconds() float64 { return float64(t) / 1e3 }
+
+func (t Time) String() string { return fmt.Sprintf("%dns", uint64(t)) }
+
+// Event is a unit of scheduled work.
+type Event struct {
+	at   Time
+	seq  uint64
+	fn   func()
+	idx  int // heap index; -1 when not queued
+	dead bool
+}
+
+// Canceled reports whether the event was canceled before firing.
+func (e *Event) Canceled() bool { return e.dead }
+
+// When returns the time the event is scheduled for.
+func (e *Event) When() Time { return e.at }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulation engine.
+//
+// The zero value is not usable; create engines with NewEngine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventHeap
+	fired   uint64
+	stopped bool
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired returns the number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of events waiting in the queue.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past
+// panics: it always indicates a model bug.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn to run d nanoseconds from now.
+func (e *Engine) After(d Time, fn func()) *Event {
+	return e.At(e.now+d, fn)
+}
+
+// Cancel removes a pending event. Canceling an already-fired or
+// already-canceled event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.dead || ev.idx < 0 {
+		return
+	}
+	ev.dead = true
+	heap.Remove(&e.queue, ev.idx)
+	ev.idx = -1
+}
+
+// Step executes the single earliest event. It reports false when the
+// queue is empty.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	e.now = ev.at
+	e.fired++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue drains or Stop is called. It
+// returns the number of events executed by this call.
+func (e *Engine) Run() uint64 {
+	start := e.fired
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+	return e.fired - start
+}
+
+// RunUntil executes events with time <= deadline. Events scheduled past
+// the deadline remain queued; the clock is left at the last fired event
+// (or advanced to the deadline if nothing fired at it).
+func (e *Engine) RunUntil(deadline Time) uint64 {
+	start := e.fired
+	e.stopped = false
+	for !e.stopped && len(e.queue) > 0 && e.queue[0].at <= deadline {
+		e.Step()
+	}
+	if e.now < deadline && !e.stopped {
+		e.now = deadline
+	}
+	return e.fired - start
+}
+
+// RunFor runs events within the next d nanoseconds (see RunUntil).
+func (e *Engine) RunFor(d Time) uint64 { return e.RunUntil(e.now + d) }
+
+// Stop makes the current Run/RunUntil call return after the current
+// event completes. Pending events stay queued.
+func (e *Engine) Stop() { e.stopped = true }

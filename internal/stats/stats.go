@@ -1,0 +1,146 @@
+// Package stats provides the small statistical containers the simulator
+// reports through: log-bucketed latency histograms with percentile
+// queries, and running means. Everything is allocation-light and
+// deterministic.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"strings"
+
+	"cenju4/internal/sim"
+)
+
+// Histogram is a log2-bucketed latency histogram: bucket i counts
+// samples in [2^i, 2^(i+1)) nanoseconds. Cheap enough to sit on every
+// transaction path.
+type Histogram struct {
+	buckets [40]uint64 // up to ~550 s
+	count   uint64
+	sum     uint64
+	max     uint64
+	min     uint64
+}
+
+// Add records one sample.
+func (h *Histogram) Add(t sim.Time) {
+	v := uint64(t)
+	b := bits.Len64(v)
+	if b >= len(h.buckets) {
+		b = len(h.buckets) - 1
+	}
+	h.buckets[b]++
+	h.count++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+	if h.count == 1 || v < h.min {
+		h.min = v
+	}
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Mean returns the average sample, 0 if empty.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Max returns the largest sample.
+func (h *Histogram) Max() sim.Time { return sim.Time(h.max) }
+
+// Min returns the smallest sample (0 if empty).
+func (h *Histogram) Min() sim.Time { return sim.Time(h.min) }
+
+// Percentile returns an upper bound for the p-th percentile (p in
+// [0,100]): the top edge of the bucket containing it. Log bucketing
+// bounds the error to 2x, which is plenty for latency-shape reporting.
+func (h *Histogram) Percentile(p float64) sim.Time {
+	if h.count == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	target := uint64(math.Ceil(p / 100 * float64(h.count)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.buckets {
+		cum += c
+		if cum >= target {
+			edge := uint64(1) << uint(i)
+			if edge > h.max {
+				edge = h.max
+			}
+			return sim.Time(edge)
+		}
+	}
+	return sim.Time(h.max)
+}
+
+// Merge folds other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	if other.count == 0 {
+		return
+	}
+	for i := range h.buckets {
+		h.buckets[i] += other.buckets[i]
+	}
+	if h.count == 0 || other.min < h.min {
+		h.min = other.min
+	}
+	h.count += other.count
+	h.sum += other.sum
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
+// String summarizes the distribution.
+func (h *Histogram) String() string {
+	if h.count == 0 {
+		return "histogram{empty}"
+	}
+	return fmt.Sprintf("histogram{n=%d mean=%.0fns p50<=%v p99<=%v max=%v}",
+		h.count, h.Mean(), h.Percentile(50), h.Percentile(99), h.Max())
+}
+
+// Bars renders an ASCII sketch of the non-empty buckets.
+func (h *Histogram) Bars(width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	var peak uint64
+	for _, c := range h.buckets {
+		if c > peak {
+			peak = c
+		}
+	}
+	if peak == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		n := int(c * uint64(width) / peak)
+		if n == 0 {
+			n = 1
+		}
+		fmt.Fprintf(&b, "%10v %s %d\n", sim.Time(uint64(1)<<uint(i)), strings.Repeat("#", n), c)
+	}
+	return b.String()
+}

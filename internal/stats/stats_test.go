@@ -1,0 +1,126 @@
+package stats
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"cenju4/internal/sim"
+)
+
+func TestEmptyHistogram(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Percentile(50) != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram not zero")
+	}
+	if h.String() != "histogram{empty}" {
+		t.Fatalf("String() = %q", h.String())
+	}
+	if h.Bars(10) != "" {
+		t.Fatal("empty bars")
+	}
+}
+
+func TestBasicStats(t *testing.T) {
+	var h Histogram
+	for _, v := range []sim.Time{100, 200, 300, 400} {
+		h.Add(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Mean() != 250 {
+		t.Fatalf("Mean = %v", h.Mean())
+	}
+	if h.Min() != 100 || h.Max() != 400 {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+}
+
+// Percentile must be an upper bound within the 2x bucketing factor.
+func TestPropertyPercentileBounds(t *testing.T) {
+	f := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var h Histogram
+		var maxV uint64
+		for _, r := range raw {
+			v := uint64(r%1000000) + 1
+			h.Add(sim.Time(v))
+			if v > maxV {
+				maxV = v
+			}
+		}
+		p100 := uint64(h.Percentile(100))
+		return p100 >= maxV/2 && p100 <= maxV
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercentileMonotone(t *testing.T) {
+	var h Histogram
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 10000; i++ {
+		h.Add(sim.Time(rng.Intn(100000) + 1))
+	}
+	prev := sim.Time(0)
+	for _, p := range []float64{0, 10, 50, 90, 99, 100} {
+		v := h.Percentile(p)
+		if v < prev {
+			t.Fatalf("percentile not monotone at %v: %v < %v", p, v, prev)
+		}
+		prev = v
+	}
+	// Out-of-range percentiles clamp.
+	if h.Percentile(-5) > h.Percentile(0) || h.Percentile(200) != h.Percentile(100) {
+		t.Fatal("clamping wrong")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	var a, b Histogram
+	a.Add(100)
+	a.Add(200)
+	b.Add(50)
+	b.Add(4000)
+	a.Merge(&b)
+	if a.Count() != 4 || a.Min() != 50 || a.Max() != 4000 {
+		t.Fatalf("merged = %v", a.String())
+	}
+	var empty Histogram
+	a.Merge(&empty)
+	if a.Count() != 4 {
+		t.Fatal("merging empty changed count")
+	}
+	empty.Merge(&a)
+	if empty.Count() != 4 || empty.Min() != 50 {
+		t.Fatalf("merge into empty = %v", empty.String())
+	}
+}
+
+func TestBars(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Add(500)
+	}
+	h.Add(100000)
+	out := h.Bars(20)
+	if !strings.Contains(out, "#") || len(strings.Split(strings.TrimSpace(out), "\n")) != 2 {
+		t.Fatalf("Bars() = %q", out)
+	}
+}
+
+func TestHugeSampleClamped(t *testing.T) {
+	var h Histogram
+	h.Add(sim.Time(1) << 60)
+	if h.Count() != 1 {
+		t.Fatal("huge sample lost")
+	}
+	if h.Percentile(100) == 0 {
+		t.Fatal("percentile of clamped sample is zero")
+	}
+}

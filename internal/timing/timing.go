@@ -1,0 +1,116 @@
+// Package timing holds the latency constants of the simulated Cenju-4
+// hardware.
+//
+// The paper reports measured latencies on real hardware (Table 2,
+// Figure 10); our substrate is a discrete-event simulator, so the
+// per-component costs below were calibrated so the simulated protocol
+// sequences land on the published numbers:
+//
+//   - private load            = ProcOverhead + MemAccess                       = 470 ns
+//   - shared local clean load = + DirAccess                                    = 610 ns
+//   - shared remote clean     = + 2 network traversals + home/master handling  = 1690 ns at 2 stages
+//   - per extra 2 stages on a request+data pair                                = +520 ns
+//
+// The residual error against Table 2 is recorded in EXPERIMENTS.md; the
+// paper's own rows are not perfectly explained by any single per-stage
+// cost either (rows c, d, e imply 520, 580 and 525 ns per 2-stage
+// increment respectively), so we fit within ~10%.
+package timing
+
+import "cenju4/internal/sim"
+
+// Params is the set of hardware latency constants, all in nanoseconds.
+type Params struct {
+	// ProcOverhead covers instruction issue to graduation overhead
+	// around a memory access that leaves the processor chip.
+	ProcOverhead sim.Time
+	// CacheHit is the secondary-cache hit time (loads that never reach
+	// the controller).
+	CacheHit sim.Time
+	// MemAccess is one main-memory block read or write.
+	MemAccess sim.Time
+	// DirAccess is one directory entry read-modify-write. The paper
+	// notes this is the entire difference between private (470 ns) and
+	// shared-local-clean (610 ns) loads.
+	DirAccess sim.Time
+	// HomeProc is the home controller's per-message processing cost.
+	HomeProc sim.Time
+	// MasterProc is the master controller's reply handling cost.
+	MasterProc sim.Time
+	// SlaveProc is the slave controller's cost to act on a forwarded
+	// request (cache state change, data extraction).
+	SlaveProc sim.Time
+	// NetFixed is the fixed network entry+exit cost of one traversal.
+	NetFixed sim.Time
+	// SwitchHopCtl is the per-stage latency of a header-only message.
+	SwitchHopCtl sim.Time
+	// SwitchHopData is the per-stage latency of a data-carrying message
+	// (128-byte block; virtual cut-through keeps the per-stage increment
+	// modest rather than paying full serialization per stage).
+	SwitchHopData sim.Time
+	// SerializeCtl / SerializeData are the port occupancy times of one
+	// message — the interval before the same switch output port can
+	// accept the next message.
+	SerializeCtl  sim.Time
+	SerializeData sim.Time
+	// ReplicateSlot is the extra delay per additional copy when a
+	// switch's crosspoint buffers replicate a multicast to several
+	// output ports.
+	ReplicateSlot sim.Time
+	// GatherMerge is the cost of combining replies at a switch.
+	GatherMerge sim.Time
+	// QueueOp is the cost of one memory-resident queue enqueue/dequeue
+	// (the starvation and deadlock queues live in main memory).
+	QueueOp sim.Time
+}
+
+// Default returns the calibrated Cenju-4 parameter set.
+func Default() Params {
+	return Params{
+		ProcOverhead:  170,
+		CacheHit:      8, // ~16 cycles at 200 MHz? The R10000 L2 hit is ~10 cycles; 8 ns keeps hit streams cheap.
+		MemAccess:     300,
+		DirAccess:     140,
+		HomeProc:      140,
+		MasterProc:    100,
+		SlaveProc:     150,
+		NetFixed:      170,
+		SwitchHopCtl:  130,
+		SwitchHopData: 145,
+		SerializeCtl:  100,
+		SerializeData: 220,
+		ReplicateSlot: 130,
+		GatherMerge:   40,
+		QueueOp:       120,
+	}
+}
+
+// Traversal returns the latency of one uncontended network traversal of
+// the given stage count, for a control or data message.
+func (p Params) Traversal(stages int, data bool) sim.Time {
+	hop := p.SwitchHopCtl
+	if data {
+		hop = p.SwitchHopData
+	}
+	return p.NetFixed + sim.Time(stages)*hop
+}
+
+// MPIParams models the user-level message passing mechanism of Cenju-4,
+// calibrated to the published figures: 9.1 us one-way latency and
+// 169 MB/s throughput on a 128-node system.
+type MPIParams struct {
+	// Latency is the fixed software+hardware cost of one message.
+	Latency sim.Time
+	// BytesPerNs is the streaming throughput (0.169 bytes/ns = 169 MB/s).
+	BytesPerNs float64
+}
+
+// DefaultMPI returns the calibrated message-passing parameters.
+func DefaultMPI() MPIParams {
+	return MPIParams{Latency: 9100, BytesPerNs: 0.169}
+}
+
+// Transfer returns the time to move n bytes: latency plus serialization.
+func (m MPIParams) Transfer(n int) sim.Time {
+	return m.Latency + sim.Time(float64(n)/m.BytesPerNs)
+}

@@ -1,0 +1,46 @@
+package timing
+
+import "testing"
+
+func TestDefaultCalibrationIdentities(t *testing.T) {
+	p := Default()
+	// Table 2 row a: private load.
+	if p.ProcOverhead+p.MemAccess != 470 {
+		t.Errorf("private load = %d, want 470", p.ProcOverhead+p.MemAccess)
+	}
+	// Table 2 row b: + one directory access.
+	if p.ProcOverhead+p.MemAccess+p.DirAccess != 610 {
+		t.Errorf("local clean load = %d, want 610", p.ProcOverhead+p.MemAccess+p.DirAccess)
+	}
+}
+
+func TestTraversal(t *testing.T) {
+	p := Default()
+	ctl2 := p.Traversal(2, false)
+	ctl4 := p.Traversal(4, false)
+	if ctl4-ctl2 != 2*p.SwitchHopCtl {
+		t.Errorf("control per-2-stage increment = %d", ctl4-ctl2)
+	}
+	data2 := p.Traversal(2, true)
+	if data2 <= ctl2 {
+		t.Error("data traversal not slower than control")
+	}
+	// One request+data round trip gains 520-550 ns per two stages, as
+	// in Table 2 rows c and e.
+	pair := (ctl4 - ctl2) + (p.Traversal(4, true) - data2)
+	if pair < 500 || pair > 600 {
+		t.Errorf("request+data 2-stage increment = %d, want ~520-550", pair)
+	}
+}
+
+func TestMPICalibration(t *testing.T) {
+	m := DefaultMPI()
+	if m.Transfer(0) != 9100 {
+		t.Errorf("latency = %v, want 9.1us", m.Transfer(0))
+	}
+	// Throughput: 169 bytes per microsecond.
+	d := m.Transfer(169000) - m.Transfer(0)
+	if d < 990000 || d > 1010000 {
+		t.Errorf("169KB serialization = %v, want ~1ms", d)
+	}
+}

@@ -1,0 +1,205 @@
+// Protocol conformance: each appendix sequence of the paper, asserted
+// as the exact series of messages delivered for one block.
+package trace
+
+import (
+	"testing"
+
+	"cenju4/internal/core"
+	"cenju4/internal/machine"
+	"cenju4/internal/msg"
+	"cenju4/internal/topology"
+)
+
+type rig struct {
+	m   *machine.Machine
+	col *Collector
+}
+
+func newRig(t *testing.T, nodes int) *rig {
+	t.Helper()
+	r := &rig{
+		m:   machine.New(machine.Config{Nodes: nodes, Multicast: true}),
+		col: NewCollector(0),
+	}
+	r.m.SetTracer(r.col.Tracer())
+	return r
+}
+
+func (r *rig) access(t *testing.T, node topology.NodeID, addr topology.Addr, store bool) {
+	t.Helper()
+	done := false
+	r.m.Controller(node).Request(addr, store, func() { done = true })
+	r.m.Engine().Run()
+	if !done {
+		t.Fatal("access did not complete")
+	}
+}
+
+func (r *rig) sequence(addr topology.Addr) []msg.Kind {
+	return Kinds(r.col.Deliveries(addr))
+}
+
+func kindsEqual(got, want []msg.Kind) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}
+
+var block = topology.SharedAddr(0, 0)
+
+// Read-shared, case (2)/(3): nobody caches — home replies directly with
+// an exclusive grant. Two messages: the request and the data reply.
+func TestSequenceReadSharedCold(t *testing.T) {
+	r := newRig(t, 16)
+	r.access(t, 1, block, false)
+	want := []msg.Kind{msg.ReadShared, msg.HomeData}
+	if got := r.sequence(block); !kindsEqual(got, want) {
+		t.Fatalf("sequence = %v, want %v\n%s", got, want, r.col)
+	}
+}
+
+// Read-shared, case (5)/(7): the block is dirty at a slave — the home
+// forwards, the slave returns the data to the home (never to the
+// master), and the home forwards it on. Figure 7(b).
+func TestSequenceReadSharedDirtyRemote(t *testing.T) {
+	r := newRig(t, 16)
+	r.access(t, 1, block, true) // node 1 takes M
+	r.col.Reset()
+	r.access(t, 2, block, false)
+	want := []msg.Kind{msg.ReadShared, msg.FwdReadShared, msg.SlaveData, msg.HomeData}
+	if got := r.sequence(block); !kindsEqual(got, want) {
+		t.Fatalf("sequence = %v, want %v\n%s", got, want, r.col)
+	}
+}
+
+// Read-shared against an Exclusive (clean) slave: the slave downgrades
+// and acknowledges without data; the home serves memory's copy.
+func TestSequenceReadSharedExclusiveRemote(t *testing.T) {
+	r := newRig(t, 16)
+	r.access(t, 1, block, false) // node 1 takes E
+	r.col.Reset()
+	r.access(t, 2, block, false)
+	want := []msg.Kind{msg.ReadShared, msg.FwdReadShared, msg.SlaveAck, msg.HomeData}
+	if got := r.sequence(block); !kindsEqual(got, want) {
+		t.Fatalf("sequence = %v, want %v\n%s", got, want, r.col)
+	}
+}
+
+// Read-exclusive with clean sharers: invalidations are multicast, the
+// gathered single acknowledgement returns, and the home grants the data
+// exclusively.
+func TestSequenceReadExclusiveInvalidates(t *testing.T) {
+	r := newRig(t, 16)
+	r.access(t, 1, block, false)
+	r.access(t, 2, block, false) // two sharers
+	r.col.Reset()
+	r.access(t, 3, block, true)
+	got := r.sequence(block)
+	// The multicast delivers one Invalidate per decoded member (2 here),
+	// then exactly one gathered InvAck, then the data grant.
+	want := []msg.Kind{msg.ReadExclusive, msg.Invalidate, msg.Invalidate, msg.InvAck, msg.HomeData}
+	if !kindsEqual(got, want) {
+		t.Fatalf("sequence = %v, want %v\n%s", got, want, r.col)
+	}
+}
+
+// Ownership: a store to a Shared copy transfers no data — the paper's
+// performance improvement over plain read-exclusive.
+func TestSequenceOwnershipNoData(t *testing.T) {
+	r := newRig(t, 16)
+	r.access(t, 1, block, false)
+	r.access(t, 2, block, false)
+	r.col.Reset()
+	r.access(t, 2, block, true) // node 2 upgrades its S copy
+	got := r.col.Deliveries(block)
+	// Request, invalidations to the represented set (2 members,
+	// including the master itself which acks without invalidating),
+	// gathered ack, and a data-less grant.
+	want := []msg.Kind{msg.Ownership, msg.Invalidate, msg.Invalidate, msg.InvAck, msg.HomeAck}
+	if !kindsEqual(Kinds(got), want) {
+		t.Fatalf("sequence = %v, want %v\n%s", Kinds(got), want, r.col)
+	}
+	for _, ev := range got {
+		if ev.Msg == msg.HomeAck && ev.Node != 2 {
+			t.Fatalf("grant delivered to %v, want master 2", ev.Node)
+		}
+	}
+}
+
+// Writeback: the no-reply sequence — exactly one message.
+func TestSequenceWriteBackNoReply(t *testing.T) {
+	r := newRig(t, 16)
+	r.access(t, 1, block, true)
+	r.col.Reset()
+	ctrl := r.m.Controller(1)
+	ctrl.Cache().SetState(block, 0 /* Invalid */)
+	ctrl.EvictShared(block)
+	r.m.Engine().Run()
+	want := []msg.Kind{msg.WriteBack}
+	if got := r.sequence(block); !kindsEqual(got, want) {
+		t.Fatalf("sequence = %v, want %v\n%s", got, want, r.col)
+	}
+}
+
+// The slave never replies to the master directly: every slave reply in
+// any mixed run is addressed to the home. (This is what removes the
+// two DASH nack races of Figure 8.)
+func TestSlaveRepliesAlwaysViaHome(t *testing.T) {
+	r := newRig(t, 16)
+	for i := 1; i <= 6; i++ {
+		r.access(t, topology.NodeID(i), block, i%2 == 0)
+	}
+	for _, ev := range r.col.Events() {
+		if ev.Kind != core.TraceRecv {
+			continue
+		}
+		if ev.Msg == msg.SlaveData || ev.Msg == msg.SlaveAck || ev.Msg == msg.InvAck {
+			if ev.Node != ev.Addr.Home() {
+				t.Fatalf("slave reply %v delivered to %v, not the home %v", ev.Msg, ev.Node, ev.Addr.Home())
+			}
+		}
+	}
+}
+
+// Update-protocol conformance: a write-through broadcast reaches every
+// node and gathers to one acknowledgement.
+func TestSequenceUpdateWrite(t *testing.T) {
+	upd := func(a topology.Addr) bool { return a.Home() == 0 }
+	m := machine.New(machine.Config{Nodes: 4, Multicast: true, UpdateMode: upd})
+	col := NewCollector(0)
+	m.SetTracer(col.Tracer())
+	done := false
+	m.Controller(1).Request(block, true, func() { done = true })
+	m.Engine().Run()
+	if !done {
+		t.Fatal("update write did not complete")
+	}
+	want := []msg.Kind{msg.UpdateWrite, msg.UpdateData, msg.UpdateData, msg.UpdateData, msg.UpdateData, msg.UpdateAck, msg.HomeAck}
+	if got := Kinds(col.Deliveries(block)); !kindsEqual(got, want) {
+		t.Fatalf("sequence = %v, want %v\n%s", got, want, col)
+	}
+}
+
+func TestCollectorBoundsAndReset(t *testing.T) {
+	col := NewCollector(3)
+	for i := 0; i < 5; i++ {
+		col.Record(core.TraceEvent{})
+	}
+	if col.Len() != 3 || col.Dropped() != 2 {
+		t.Fatalf("len=%d dropped=%d", col.Len(), col.Dropped())
+	}
+	col.Reset()
+	if col.Len() != 0 || col.Dropped() != 0 {
+		t.Fatal("reset failed")
+	}
+	if col.String() != "" {
+		t.Fatal("nonempty render after reset")
+	}
+}
