@@ -16,6 +16,16 @@ import (
 
 func benchCfg() experiments.Config { return experiments.Quick() }
 
+// skipHeavy excludes the application-scale reproductions (seconds per
+// iteration) from -short runs, so quick lanes still exercise the
+// microbenchmarks without paying for full workload sweeps.
+func skipHeavy(b *testing.B) {
+	b.Helper()
+	if testing.Short() {
+		b.Skip("heavyweight reproduction: skipped in -short mode")
+	}
+}
+
 // BenchmarkTable1 regenerates the directory-scheme characteristics.
 func BenchmarkTable1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
@@ -45,6 +55,7 @@ func BenchmarkFigure4(b *testing.B) {
 // BenchmarkTable2 regenerates the load-latency table and reports the
 // worst relative error against the paper's measured values.
 func BenchmarkTable2(b *testing.B) {
+	skipHeavy(b)
 	var maxErr float64
 	for i := 0; i < b.N; i++ {
 		maxErr = experiments.Table2().MaxError()
@@ -56,6 +67,7 @@ func BenchmarkTable2(b *testing.B) {
 // the 1023-sharer end points (paper: 6.3us with multicast, 184us
 // without).
 func BenchmarkFigure10(b *testing.B) {
+	skipHeavy(b)
 	var mc, sc float64
 	for i := 0; i < b.N; i++ {
 		r := experiments.Figure10()
@@ -73,6 +85,7 @@ func BenchmarkFigure10(b *testing.B) {
 // BenchmarkFigure11 regenerates the DSM-vs-MPI comparison and reports
 // BT's dsm(2) parallel efficiency (paper: 97%).
 func BenchmarkFigure11(b *testing.B) {
+	skipHeavy(b)
 	var eff float64
 	for i := 0; i < b.N; i++ {
 		r := experiments.Figure11(benchCfg())
@@ -86,6 +99,7 @@ func BenchmarkFigure11(b *testing.B) {
 // BenchmarkFigure12 regenerates the speedup curves and reports CG's
 // gain from its two largest machine sizes (saturation: close to 1x).
 func BenchmarkFigure12(b *testing.B) {
+	skipHeavy(b)
 	var gain float64
 	for i := 0; i < b.N; i++ {
 		r := experiments.Figure12(benchCfg())
@@ -100,6 +114,7 @@ func BenchmarkFigure12(b *testing.B) {
 // BenchmarkTable3 regenerates the miss-characteristics table and
 // reports BT dsm(1)'s remote-miss-share drop from data mappings.
 func BenchmarkTable3(b *testing.B) {
+	skipHeavy(b)
 	var drop float64
 	for i := 0; i < b.N; i++ {
 		r := experiments.Table3(benchCfg())
@@ -114,6 +129,7 @@ func BenchmarkTable3(b *testing.B) {
 // reports CG's remote-miss-share increase from 16 to 128 nodes (the
 // paper measures +71.5 points).
 func BenchmarkTable4(b *testing.B) {
+	skipHeavy(b)
 	var rise float64
 	for i := 0; i < b.N; i++ {
 		r := experiments.Table4(benchCfg())
@@ -128,6 +144,7 @@ func BenchmarkTable4(b *testing.B) {
 // proposal — update-type protocol plus main-memory third-level caches —
 // and reports its speedup gain over the baseline at 128 nodes.
 func BenchmarkFutureWorkUpdateProtocol(b *testing.B) {
+	skipHeavy(b)
 	var gain float64
 	for i := 0; i < b.N; i++ {
 		gain = experiments.FutureWork(benchCfg()).Gain()
@@ -159,6 +176,7 @@ func BenchmarkAblationSinglecastThreshold(b *testing.B) {
 // BenchmarkAblationImprecision measures the bit-pattern map's
 // invalidation overshoot on the running protocol.
 func BenchmarkAblationImprecision(b *testing.B) {
+	skipHeavy(b)
 	var worst float64
 	for i := 0; i < b.N; i++ {
 		r := experiments.AblationImprecision(1024)

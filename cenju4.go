@@ -34,6 +34,7 @@ import (
 
 	"cenju4/internal/core"
 	"cenju4/internal/directory"
+	"cenju4/internal/fuzz"
 	"cenju4/internal/machine"
 	"cenju4/internal/npb"
 	"cenju4/internal/topology"
@@ -103,6 +104,7 @@ func (m *Machine) access(node, home int, offset uint64, store bool) time.Duratio
 	eng := m.m.Engine()
 	// Hits complete without a transaction.
 	if _, hit := ctrl.Cache().Access(addr, store); hit {
+		ctrl.NoteAccessHit(addr, store)
 		return 0
 	}
 	start := eng.Now()
@@ -363,4 +365,23 @@ func Schemes() []string {
 		names = append(names, s.Name)
 	}
 	return names
+}
+
+// Validate checks the machine's structural coherence invariants (single
+// writer, directory/cache agreement, drained queues). Call it when the
+// simulation is idle — after Load/Store returned, between workload
+// phases.
+func (m *Machine) Validate() error { return m.m.Validate() }
+
+// FuzzSmoke runs a bounded randomized coherence sweep (every traffic
+// pattern against every protocol configuration cell) with the
+// consistency oracle attached, and returns an error describing the
+// first failure, if any. It is a cheap machine-health check; the full
+// harness lives in internal/fuzz and cmd/cenju4-fuzz.
+func FuzzSmoke(seed uint64, ops int) error {
+	rep := fuzz.Run(fuzz.Options{Seed: seed, Ops: ops})
+	if rep.Failed() {
+		return fmt.Errorf("fuzz smoke (seed %d):\n%s", seed, rep.String())
+	}
+	return nil
 }

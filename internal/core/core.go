@@ -98,6 +98,9 @@ type Config struct {
 	// satisfied locally. Nil disables the extension (the shipped
 	// Cenju-4 behavior).
 	UpdateMode func(topology.Addr) bool
+	// Faults injects deliberate protocol bugs for the fuzzing
+	// harness's self-tests (nil in production configurations).
+	Faults *Faults
 }
 
 func (c Config) withDefaults() Config {
@@ -164,6 +167,7 @@ type Controller struct {
 	allNodes directory.Dest
 
 	trace Tracer
+	vals  *ValueTracker
 	stats Stats
 }
 
@@ -195,6 +199,25 @@ func (c *Controller) updateBlock(addr topology.Addr) bool {
 
 // Node returns the controller's node ID.
 func (c *Controller) Node() topology.NodeID { return c.cfg.Node }
+
+// SetValueTracker attaches (or, with nil, removes) a data-value
+// tracker. All controllers of one machine share a single tracker.
+func (c *Controller) SetValueTracker(v *ValueTracker) { c.vals = v }
+
+// NoteAccessHit informs the value tracker of a processor cache hit on
+// a shared block (the cpu model calls it on every such hit; the cache
+// array has already applied any silent E->M upgrade). It is a no-op
+// without a tracker.
+func (c *Controller) NoteAccessHit(addr topology.Addr, store bool) {
+	if c.vals == nil || !addr.Shared() {
+		return
+	}
+	if store {
+		c.vals.storeOrdered(c.cfg.Node, addr, c.eng.Now())
+	} else {
+		c.vals.loadObserved(c.cfg.Node, addr, c.eng.Now())
+	}
+}
 
 // Cache exposes the node's secondary cache (the processor model drives
 // hits against it directly).

@@ -11,11 +11,14 @@ import (
 )
 
 // queuedReq is one 64-bit entry of the memory-resident request queue:
-// the request kind, the master, and the target block.
+// the request kind, the master, and the target block. val preserves a
+// queued update-write's tagged data for the value tracker (a queued
+// write-through keeps its payload in the memory buffer).
 type queuedReq struct {
 	kind   msg.Kind
 	master topology.NodeID
 	addr   topology.Addr
+	val    uint64
 }
 
 // txn is the home's context for a pending block: who the transaction is
@@ -65,7 +68,7 @@ func (h *homeModule) handle(m *msg.Message) {
 	switch m.Kind {
 	case msg.ReadShared, msg.ReadExclusive, msg.Ownership, msg.UpdateWrite:
 		c.stats.HomeRequests++
-		elapsed += h.processRequest(m.Kind, m.Master, m.Addr, elapsed)
+		elapsed += h.processRequest(m.Kind, m.Master, m.Addr, m.Val, elapsed)
 	case msg.WriteBack:
 		elapsed += h.processWriteBack(m)
 	case msg.SlaveData, msg.SlaveAck:
@@ -81,7 +84,7 @@ func (h *homeModule) handle(m *msg.Message) {
 // processRequest runs the appendix request sequences. sofar is the cost
 // already accumulated for this service (outbound sends depart after the
 // full service time). It returns the additional processing cost.
-func (h *homeModule) processRequest(kind msg.Kind, master topology.NodeID, addr topology.Addr, sofar sim.Time) sim.Time {
+func (h *homeModule) processRequest(kind msg.Kind, master topology.NodeID, addr topology.Addr, val uint64, sofar sim.Time) sim.Time {
 	c := h.c
 	p := c.cfg.Params
 	e := c.mem.Entry(addr)
@@ -99,20 +102,20 @@ func (h *homeModule) processRequest(kind msg.Kind, master topology.NodeID, addr 
 			kind = msg.ReadExclusive
 		}
 		wasEmpty := h.queue.Empty()
-		h.queue.Push(queuedReq{kind, master, addr})
+		h.queue.Push(queuedReq{kind, master, addr, val})
 		c.stats.QueuedRequests++
-		if wasEmpty {
+		if wasEmpty && !(c.cfg.Faults != nil && c.cfg.Faults.SkipReservation) {
 			// The new request is at the top of the queue: mark its block.
 			e.SetReserved(true)
 		}
 		return cost + p.QueueOp
 	}
-	return cost + h.processStable(kind, master, addr, e, sofar+cost)
+	return cost + h.processStable(kind, master, addr, val, e, sofar+cost)
 }
 
 // processStable handles a request against a stable (clean or dirty)
 // block, per the appendix. It may leave the block pending.
-func (h *homeModule) processStable(kind msg.Kind, master topology.NodeID, addr topology.Addr, e *directory.Entry, sofar sim.Time) sim.Time {
+func (h *homeModule) processStable(kind msg.Kind, master topology.NodeID, addr topology.Addr, val uint64, e *directory.Entry, sofar sim.Time) sim.Time {
 	c := h.c
 	p := c.cfg.Params
 	switch kind {
@@ -124,6 +127,12 @@ func (h *homeModule) processStable(kind msg.Kind, master topology.NodeID, addr t
 		t := &txn{kind: kind, master: master}
 		h.pending[addr] = t
 		h.overflow.Push(addr)
+		if c.vals != nil {
+			// This directory access is the write-through's serialization
+			// point: memory takes the data and the broadcast fans it out.
+			c.vals.memWrite(c.cfg.Node, addr, val)
+			c.vals.updateOrdered(master, addr, val, c.eng.Now())
+		}
 		um := &msg.Message{
 			Kind:    msg.UpdateData,
 			Src:     c.cfg.Node,
@@ -131,6 +140,7 @@ func (h *homeModule) processStable(kind msg.Kind, master topology.NodeID, addr t
 			Addr:    addr,
 			Master:  master,
 			HasData: true,
+			Val:     val,
 		}
 		if c.fab.MulticastEnabled() {
 			um.Gather = c.fab.AllocGather(c.allNodes, c.cfg.Node)
@@ -148,15 +158,23 @@ func (h *homeModule) processStable(kind msg.Kind, master topology.NodeID, addr t
 		return p.MemAccess
 	case msg.ReadShared:
 		switch {
-		case e.MapIsOnly(master):
+		case e.MapIsOnly(master) && !c.updateBlock(addr):
 			// No node (or only the master) caches: grant exclusive.
+			// Update-protocol blocks are never granted exclusively — a
+			// silent E->M upgrade would bypass the write-through and
+			// strand every third-level cache on stale data (the
+			// validator's "no exclusive owner under the update protocol"
+			// invariant).
 			e.SetState(directory.Dirty)
 			e.MapSetOnly(master)
-			h.reply(master, &msg.Message{Kind: msg.HomeData, Addr: addr, Master: master, HasData: true, Excl: true}, sofar+p.MemAccess)
+			h.reply(master, &msg.Message{Kind: msg.HomeData, Addr: addr, Master: master, HasData: true, Excl: true, Val: h.memVal(addr)}, sofar+p.MemAccess)
 			return p.MemAccess
-		case e.State() == directory.Clean:
+		case e.State() == directory.Clean ||
+			(c.cfg.Faults != nil && c.cfg.Faults.StaleDirtyRead):
+			// Injected fault: a dirty block is served from (stale) memory
+			// without forwarding to the owner.
 			e.MapAdd(master)
-			h.reply(master, &msg.Message{Kind: msg.HomeData, Addr: addr, Master: master, HasData: true}, sofar+p.MemAccess)
+			h.reply(master, &msg.Message{Kind: msg.HomeData, Addr: addr, Master: master, HasData: true, Val: h.memVal(addr)}, sofar+p.MemAccess)
 			return p.MemAccess
 		default: // Dirty at another node: forward to the slave.
 			slave := h.dirtyOwner(e)
@@ -176,7 +194,7 @@ func (h *homeModule) processStable(kind msg.Kind, master topology.NodeID, addr t
 				h.reply(master, &msg.Message{Kind: msg.HomeAck, Addr: addr, Master: master}, sofar)
 				return 0
 			}
-			h.reply(master, &msg.Message{Kind: msg.HomeData, Addr: addr, Master: master, HasData: true, Excl: true}, sofar+p.MemAccess)
+			h.reply(master, &msg.Message{Kind: msg.HomeData, Addr: addr, Master: master, HasData: true, Excl: true, Val: h.memVal(addr)}, sofar+p.MemAccess)
 			return p.MemAccess
 		case e.State() == directory.Clean:
 			// Other nodes registered: invalidate them all.
@@ -268,6 +286,15 @@ func (h *homeModule) reply(master topology.NodeID, m *msg.Message, delay sim.Tim
 	h.c.send(m, delay)
 }
 
+// memVal reads the home-memory value of addr for a data reply (0 when
+// no value tracker is attached).
+func (h *homeModule) memVal(addr topology.Addr) uint64 {
+	if h.c.vals == nil {
+		return 0
+	}
+	return h.c.vals.MemValue(h.c.cfg.Node, addr)
+}
+
 // processWriteBack accepts a writeback even while the block is pending
 // (the "no-reply" sequence that shrinks the starvation/deadlock
 // buffers).
@@ -282,6 +309,9 @@ func (h *homeModule) processWriteBack(m *msg.Message) sim.Time {
 	// In any other state (including pending) the directory is unchanged:
 	// the data lands in memory and the in-flight transaction completes
 	// against valid memory contents.
+	if c.vals != nil {
+		c.vals.memWrite(c.cfg.Node, m.Addr, m.Val)
+	}
 	return p.DirAccess + p.MemAccess
 }
 
@@ -295,15 +325,18 @@ func (h *homeModule) processSlaveReply(m *msg.Message, sofar sim.Time) sim.Time 
 		panic(fmt.Sprintf("core: slave reply %v with no pending transaction", m))
 	}
 	cost := p.DirAccess + p.MemAccess // memory write (dirty data) or read (reply data)
+	if c.vals != nil && m.Kind == msg.SlaveData {
+		c.vals.memWrite(c.cfg.Node, m.Addr, m.Val) // dirty data lands in memory
+	}
 	switch e.State() {
 	case directory.PendingShared:
 		e.SetState(directory.Clean)
 		e.MapAdd(t.master)
-		h.reply(t.master, &msg.Message{Kind: msg.HomeData, Addr: m.Addr, Master: t.master, HasData: true}, sofar+cost)
+		h.reply(t.master, &msg.Message{Kind: msg.HomeData, Addr: m.Addr, Master: t.master, HasData: true, Val: h.memVal(m.Addr)}, sofar+cost)
 	case directory.PendingExclusive:
 		e.SetState(directory.Dirty)
 		e.MapSetOnly(t.master)
-		h.reply(t.master, &msg.Message{Kind: msg.HomeData, Addr: m.Addr, Master: t.master, HasData: true, Excl: true}, sofar+cost)
+		h.reply(t.master, &msg.Message{Kind: msg.HomeData, Addr: m.Addr, Master: t.master, HasData: true, Excl: true, Val: h.memVal(m.Addr)}, sofar+cost)
 	default:
 		panic(fmt.Sprintf("core: slave reply in state %v", e.State()))
 	}
@@ -346,7 +379,7 @@ func (h *homeModule) processInvAck(m *msg.Message, sofar sim.Time) sim.Time {
 		e.SetState(directory.Dirty)
 		e.MapSetOnly(t.master)
 		cost += p.MemAccess
-		h.reply(t.master, &msg.Message{Kind: msg.HomeData, Addr: m.Addr, Master: t.master, HasData: true, Excl: true}, sofar+cost)
+		h.reply(t.master, &msg.Message{Kind: msg.HomeData, Addr: m.Addr, Master: t.master, HasData: true, Excl: true, Val: h.memVal(m.Addr)}, sofar+cost)
 	}
 	delete(h.pending, m.Addr)
 	cost += h.completeBlock(e, sofar+cost)
@@ -384,7 +417,7 @@ func (h *homeModule) drainQueue(sofar sim.Time) sim.Time {
 		}
 		h.queue.Pop()
 		base := sofar + added + p.QueueOp + p.DirAccess
-		extra := h.processStable(req.kind, req.master, req.addr, e, base)
+		extra := h.processStable(req.kind, req.master, req.addr, req.val, e, base)
 		added += p.QueueOp + p.DirAccess + extra
 	}
 }

@@ -20,7 +20,8 @@ type mshr struct {
 	done      func()
 	waiters   []deferredReq // same-block accesses arriving mid-flight
 	retries   int
-	installL3 bool // update protocol: record the block in the local L3
+	installL3 bool   // update protocol: record the block in the local L3
+	tag       uint64 // update protocol: value tag assigned at issue
 }
 
 type deferredReq struct {
@@ -86,16 +87,25 @@ func (m *masterModule) issue(addr topology.Addr, store bool, done func()) {
 	}
 	st := c.cache.State(addr)
 	if !store && st != cache.Invalid {
+		if c.vals != nil {
+			c.vals.loadObserved(c.cfg.Node, addr, c.eng.Now())
+		}
 		done() // satisfied by an earlier transaction
 		return
 	}
 	if store {
 		switch st {
 		case cache.Modified:
+			if c.vals != nil {
+				c.vals.storeOrdered(c.cfg.Node, addr, c.eng.Now())
+			}
 			done()
 			return
 		case cache.Exclusive:
 			c.cache.SetState(addr, cache.Modified) // silent upgrade
+			if c.vals != nil {
+				c.vals.storeOrdered(c.cfg.Node, addr, c.eng.Now())
+			}
 			done()
 			return
 		}
@@ -122,6 +132,9 @@ func (m *masterModule) issueUpdate(addr topology.Addr, store bool, done func()) 
 	p := c.cfg.Params
 	if !store {
 		if c.cache.State(addr) != cache.Invalid {
+			if c.vals != nil {
+				c.vals.loadObserved(c.cfg.Node, addr, c.eng.Now())
+			}
 			done() // satisfied by a concurrent transaction
 			return
 		}
@@ -131,6 +144,10 @@ func (m *masterModule) issueUpdate(addr topology.Addr, store bool, done func()) 
 			c.eng.After(p.ProcOverhead+p.MemAccess+p.DirAccess, func() {
 				if v := c.cache.Insert(addr, cache.Shared); v.Writeback && v.Addr.Shared() {
 					m.writeback(v.Addr)
+				}
+				if c.vals != nil {
+					c.vals.fill(c.cfg.Node, addr, c.vals.L3Value(c.cfg.Node, addr))
+					c.vals.loadObserved(c.cfg.Node, addr, c.eng.Now())
 				}
 				done()
 			})
@@ -151,6 +168,9 @@ func (m *masterModule) issueUpdate(addr topology.Addr, store bool, done func()) 
 	m.combining = addr
 	m.combiningValid = true
 	slot := &mshr{addr: addr, store: true, kind: msg.UpdateWrite, issuedAt: c.eng.Now(), done: done}
+	if c.vals != nil {
+		slot.tag = c.vals.newTag()
+	}
 	m.slots[addr] = slot
 	c.stats.Requests[msg.UpdateWrite]++
 	c.stats.UpdateWrites++
@@ -167,6 +187,7 @@ func (m *masterModule) sendRequest(slot *mshr, kind msg.Kind) {
 		Addr:     slot.addr,
 		Master:   c.cfg.Node,
 		HasData:  kind == msg.UpdateWrite,
+		Val:      slot.tag, // update write-through: the tagged store value
 	}, c.cfg.Params.ProcOverhead)
 }
 
@@ -175,6 +196,10 @@ func (m *masterModule) sendRequest(slot *mshr, kind msg.Kind) {
 func (m *masterModule) writeback(addr topology.Addr) {
 	c := m.c
 	c.stats.Writebacks++
+	var val uint64
+	if c.vals != nil {
+		val = c.vals.CacheValue(c.cfg.Node, addr) // dirty data leaves with the message
+	}
 	c.send(&msg.Message{
 		Kind:     msg.WriteBack,
 		OrigKind: msg.WriteBack,
@@ -183,6 +208,7 @@ func (m *masterModule) writeback(addr topology.Addr) {
 		Addr:     addr,
 		Master:   c.cfg.Node,
 		HasData:  true,
+		Val:      val,
 	}, 0)
 }
 
@@ -216,6 +242,20 @@ func (m *masterModule) handle(rm *msg.Message) {
 		if slot.installL3 {
 			c.l3[rm.Addr] = true
 		}
+		if c.vals != nil {
+			if slot.store {
+				// The pending store drains into the arriving block: this
+				// grant is the store's serialization point (every stale
+				// copy was invalidated before the home replied).
+				c.vals.storeOrdered(c.cfg.Node, rm.Addr, c.eng.Now())
+			} else {
+				c.vals.fill(c.cfg.Node, rm.Addr, rm.Val)
+				if slot.installL3 {
+					c.vals.l3Write(c.cfg.Node, rm.Addr, rm.Val)
+				}
+				c.vals.loadObserved(c.cfg.Node, rm.Addr, c.eng.Now())
+			}
+		}
 	case msg.HomeAck:
 		if slot.kind == msg.UpdateWrite {
 			// Write-through completed: memory holds the data, the local
@@ -223,6 +263,9 @@ func (m *masterModule) handle(rm *msg.Message) {
 			if c.cache.State(rm.Addr) == cache.Invalid {
 				if v := c.cache.Insert(rm.Addr, cache.Shared); v.Writeback && v.Addr.Shared() {
 					m.writeback(v.Addr)
+				}
+				if c.vals != nil {
+					c.vals.fill(c.cfg.Node, rm.Addr, slot.tag)
 				}
 			}
 			break
@@ -236,6 +279,9 @@ func (m *masterModule) handle(rm *msg.Message) {
 			}
 		} else {
 			c.cache.SetState(rm.Addr, cache.Modified)
+		}
+		if c.vals != nil {
+			c.vals.storeOrdered(c.cfg.Node, rm.Addr, c.eng.Now())
 		}
 	case msg.Nack:
 		c.stats.Nacks++

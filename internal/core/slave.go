@@ -65,6 +65,9 @@ func (s *slaveModule) handle(m *msg.Message) {
 			c.cache.SetState(m.Addr, cache.Shared)
 			reply.Kind = msg.SlaveData
 			reply.HasData = true
+			if c.vals != nil {
+				reply.Val = c.vals.CacheValue(c.cfg.Node, m.Addr)
+			}
 		case cache.Exclusive:
 			c.cache.SetState(m.Addr, cache.Shared)
 			reply.Kind = msg.SlaveAck
@@ -79,6 +82,9 @@ func (s *slaveModule) handle(m *msg.Message) {
 			c.cache.SetState(m.Addr, cache.Invalid)
 			reply.Kind = msg.SlaveData
 			reply.HasData = true
+			if c.vals != nil {
+				reply.Val = c.vals.CacheValue(c.cfg.Node, m.Addr)
+			}
 		default:
 			if st != cache.Invalid {
 				c.cache.SetState(m.Addr, cache.Invalid)
@@ -89,7 +95,8 @@ func (s *slaveModule) handle(m *msg.Message) {
 		// A master upgrading its own shared copy appears in the node map;
 		// it acknowledges without invalidating (the upgrade completes
 		// when the home's grant arrives). Everyone else drops the copy.
-		if m.Master != c.cfg.Node && st != cache.Invalid {
+		if m.Master != c.cfg.Node && st != cache.Invalid &&
+			!(c.cfg.Faults != nil && c.cfg.Faults.SkipInvalidate) {
 			c.cache.SetState(m.Addr, cache.Invalid)
 		}
 		reply.Kind = msg.InvAck
@@ -101,6 +108,12 @@ func (s *slaveModule) handle(m *msg.Message) {
 		c.l3[m.Addr] = true
 		if st == cache.Modified || st == cache.Exclusive {
 			c.cache.SetState(m.Addr, cache.Shared)
+		}
+		if c.vals != nil {
+			c.vals.l3Write(c.cfg.Node, m.Addr, m.Val)
+			if c.cache.State(m.Addr) != cache.Invalid {
+				c.vals.fill(c.cfg.Node, m.Addr, m.Val) // update in place
+			}
 		}
 		elapsed += p.MemAccess // L3 write
 		reply.Kind = msg.UpdateAck

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"cenju4/internal/sim"
+	"cenju4/internal/topology"
+)
+
+// ValueObserver receives the semantically significant data events a
+// ValueTracker derives from the protocol's message flow. The fuzzing
+// harness's consistency oracle implements it; the tracker itself is
+// purely mechanical and never judges correctness.
+type ValueObserver interface {
+	// StoreOrdered reports that a store of tag to the block became
+	// globally ordered: for invalidation-protocol blocks at the master's
+	// grant (every stale copy is gone by then), for update-protocol
+	// blocks (update=true) at the home's write-through serialization
+	// point.
+	StoreOrdered(node topology.NodeID, addr topology.Addr, tag uint64, update bool, at sim.Time)
+	// LoadObserved reports the tagged value a processor load returned.
+	LoadObserved(node topology.NodeID, addr topology.Addr, tag uint64, at sim.Time)
+}
+
+// ValueTracker mirrors the movement of one tagged 64-bit value per
+// coherence block as the protocol executes: per-node secondary-cache
+// line values, per-home memory values, and per-node third-level-cache
+// values for update-protocol blocks. Blocks start holding tag 0; every
+// ordered store writes a fresh monotonic tag. Because the tracker moves
+// values exactly where the protocol moves data — fills, forwards,
+// writebacks, update broadcasts — a protocol bug (a stale copy
+// surviving an invalidation, a dirty block served from memory) surfaces
+// as a load observing a tag the consistency oracle does not expect.
+//
+// One tracker is shared by every controller of a machine and is only
+// safe for the single-threaded event engine that drives them.
+type ValueTracker struct {
+	nextTag uint64
+	obs     ValueObserver
+	cache   map[topology.NodeID]map[topology.Addr]uint64
+	mem     map[topology.NodeID]map[topology.Addr]uint64
+	l3      map[topology.NodeID]map[topology.Addr]uint64
+}
+
+// NewValueTracker builds a tracker reporting to obs (which must be
+// non-nil).
+func NewValueTracker(obs ValueObserver) *ValueTracker {
+	return &ValueTracker{
+		obs:   obs,
+		cache: make(map[topology.NodeID]map[topology.Addr]uint64),
+		mem:   make(map[topology.NodeID]map[topology.Addr]uint64),
+		l3:    make(map[topology.NodeID]map[topology.Addr]uint64),
+	}
+}
+
+func get(m map[topology.NodeID]map[topology.Addr]uint64, n topology.NodeID, a topology.Addr) uint64 {
+	return m[n][a.Block()]
+}
+
+func set(m map[topology.NodeID]map[topology.Addr]uint64, n topology.NodeID, a topology.Addr, v uint64) {
+	inner := m[n]
+	if inner == nil {
+		inner = make(map[topology.Addr]uint64)
+		m[n] = inner
+	}
+	inner[a.Block()] = v
+}
+
+// CacheValue returns the value node's secondary cache holds for the
+// block (meaningful only while the line is valid).
+func (t *ValueTracker) CacheValue(n topology.NodeID, a topology.Addr) uint64 {
+	return get(t.cache, n, a)
+}
+
+// MemValue returns the home-memory value of the block.
+func (t *ValueTracker) MemValue(home topology.NodeID, a topology.Addr) uint64 {
+	return get(t.mem, home, a)
+}
+
+// L3Value returns node's third-level-cache value of an update-protocol
+// block.
+func (t *ValueTracker) L3Value(n topology.NodeID, a topology.Addr) uint64 { return get(t.l3, n, a) }
+
+// newTag returns a fresh, globally unique, monotonically increasing
+// store tag (tag 0 is the initial value of every block).
+func (t *ValueTracker) newTag() uint64 {
+	t.nextTag++
+	return t.nextTag
+}
+
+// storeOrdered installs a fresh tag as node's cache value for the block
+// — the serialization point of an invalidation-protocol store (cache
+// hit on M/E, or transaction grant).
+func (t *ValueTracker) storeOrdered(n topology.NodeID, a topology.Addr, at sim.Time) {
+	tag := t.newTag()
+	set(t.cache, n, a, tag)
+	t.obs.StoreOrdered(n, a, tag, false, at)
+}
+
+// loadObserved reports node's current cache value as a load result.
+func (t *ValueTracker) loadObserved(n topology.NodeID, a topology.Addr, at sim.Time) {
+	t.obs.LoadObserved(n, a, get(t.cache, n, a), at)
+}
+
+// fill records a cache fill with a value that arrived in a message.
+func (t *ValueTracker) fill(n topology.NodeID, a topology.Addr, v uint64) { set(t.cache, n, a, v) }
+
+// memWrite records a home-memory write (writeback, slave data landing,
+// update write-through).
+func (t *ValueTracker) memWrite(home topology.NodeID, a topology.Addr, v uint64) {
+	set(t.mem, home, a, v)
+}
+
+// l3Write records an update broadcast landing in node's third-level
+// cache.
+func (t *ValueTracker) l3Write(n topology.NodeID, a topology.Addr, v uint64) { set(t.l3, n, a, v) }
+
+// updateOrdered reports the home-side serialization of an update-
+// protocol write-through (the tag was assigned at issue and rode in the
+// UpdateWrite message).
+func (t *ValueTracker) updateOrdered(master topology.NodeID, a topology.Addr, tag uint64, at sim.Time) {
+	t.obs.StoreOrdered(master, a, tag, true, at)
+}
+
+// Faults deliberately break one correctness-critical protocol action
+// each, so the fuzzing harness can prove its oracle catches real bugs
+// (internal/fuzz self-tests). Production configurations leave the
+// pointer nil.
+type Faults struct {
+	// SkipInvalidate makes slaves acknowledge invalidations without
+	// invalidating their copy — the classic stale-sharer bug the data
+	// oracle catches on the next load hit.
+	SkipInvalidate bool
+	// SkipReservation makes the home queue requests without ever setting
+	// the directory reservation bit, so the memory FIFO is never drained
+	// — queued masters starve and the machine deadlocks.
+	SkipReservation bool
+	// StaleDirtyRead makes the home serve a read-shared request for a
+	// dirty block straight from memory instead of forwarding to the
+	// owner — the requester observes stale data.
+	StaleDirtyRead bool
+}

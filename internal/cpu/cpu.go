@@ -223,6 +223,7 @@ func (c *CPU) step() {
 				c.stats.RemoteAccesses++
 			}
 			if _, hit := c.ctrl.Cache().Access(op.Addr, store); hit {
+				c.ctrl.NoteAccessHit(op.Addr, store)
 				acc += c.params.CacheHit
 				continue
 			}

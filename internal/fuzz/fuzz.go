@@ -1,0 +1,368 @@
+package fuzz
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"cenju4/internal/core"
+	"cenju4/internal/cpu"
+	"cenju4/internal/machine"
+	"cenju4/internal/sim"
+	"cenju4/internal/topology"
+	"cenju4/internal/trace"
+)
+
+// Cell is one point of the protocol configuration matrix.
+type Cell struct {
+	Mode      core.Mode
+	Multicast bool
+	Update    bool
+	Stages    int
+}
+
+func (c Cell) String() string {
+	mc, upd := "mc-", "upd-"
+	if c.Multicast {
+		mc = "mc+"
+	}
+	if c.Update {
+		upd = "upd+"
+	}
+	return fmt.Sprintf("%v/%s/%s/s%d", c.Mode, mc, upd, c.Stages)
+}
+
+// DefaultCells is the full matrix from the issue: {queuing, nack} x
+// {multicast on, off} x {update on, off} x {2, 4, 6 network stages}.
+func DefaultCells() []Cell {
+	var cells []Cell
+	for _, mode := range []core.Mode{core.ModeQueuing, core.ModeNack} {
+		for _, mc := range []bool{true, false} {
+			for _, upd := range []bool{false, true} {
+				for _, stages := range []int{2, 4, 6} {
+					cells = append(cells, Cell{Mode: mode, Multicast: mc, Update: upd, Stages: stages})
+				}
+			}
+		}
+	}
+	return cells
+}
+
+// updatePredicate marks every fourth shared block for the update
+// protocol, so update cells exercise both protocols side by side.
+func updatePredicate(a topology.Addr) bool {
+	return a.Shared() && a.BlockIndex()%4 == 1
+}
+
+// Case fully determines one fuzz execution.
+type Case struct {
+	Seed    uint64
+	Nodes   int
+	Ops     int
+	Rounds  int
+	Pattern Pattern
+	Cell    Cell
+	// Faults injects deliberate protocol bugs (self-tests only).
+	Faults *core.Faults
+	// Trace attaches a protocol trace collector; on failure the result
+	// carries the delivery trace for the first violating block.
+	Trace bool
+}
+
+func (c Case) String() string {
+	return fmt.Sprintf("%v %v seed=%d ops=%d", c.Pattern, c.Cell, c.Seed, c.Ops)
+}
+
+// Result is the outcome of one case.
+type Result struct {
+	Case       Case
+	Loads      int
+	Stores     int
+	Violations []Violation
+	// TotalViolations counts everything including those beyond the
+	// recording cap.
+	TotalViolations int
+	ValidateErr     string
+	Panic           string
+	Quiescents      int
+	SimTime         sim.Time
+	Events          uint64
+	Misses          uint64
+	// Shrink results (set by Run when a failing case shrinks).
+	Reproducer string
+	ShrinkRuns int
+	ShrunkOps  int
+	TraceDump  string
+}
+
+// Failed reports whether the oracle, validator, or simulator flagged
+// the case.
+func (r *Result) Failed() bool {
+	return r.TotalViolations > 0 || r.ValidateErr != "" || r.Panic != ""
+}
+
+// Options parameterizes a fuzz run.
+type Options struct {
+	Seed  uint64
+	Nodes int
+	// Ops is the access budget per case.
+	Ops int
+	// Rounds splits each case's streams into quiescent rounds; the
+	// machine validates at every round boundary.
+	Rounds   int
+	Patterns []Pattern
+	Cells    []Cell
+	// Shrink minimizes failing cases to a reproducer.
+	Shrink bool
+	// MaxShrinkRuns bounds the shrinker's re-executions per failure.
+	MaxShrinkRuns int
+	// Faults forwards injected bugs to every case (self-tests).
+	Faults *core.Faults
+	// Progress, when set, receives one line per completed case.
+	Progress io.Writer
+}
+
+func (o Options) withDefaults() Options {
+	if o.Nodes == 0 {
+		o.Nodes = 8
+	}
+	if o.Ops == 0 {
+		o.Ops = 2000
+	}
+	if o.Rounds == 0 {
+		o.Rounds = 4
+	}
+	if len(o.Patterns) == 0 {
+		o.Patterns = AllPatterns()
+	}
+	if len(o.Cells) == 0 {
+		o.Cells = DefaultCells()
+	}
+	if o.MaxShrinkRuns == 0 {
+		o.MaxShrinkRuns = 300
+	}
+	return o
+}
+
+// splitmix64 is the standard seed mixer: distinct per-case seeds from
+// one user seed, stable across runs.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// CaseSeed derives the i-th case's seed from the run seed.
+func CaseSeed(seed uint64, i int) uint64 {
+	return splitmix64(seed ^ splitmix64(uint64(i)+1))
+}
+
+// Run executes the full pattern x cell sweep and returns the report.
+func Run(o Options) *Report {
+	o = o.withDefaults()
+	rep := &Report{Options: o}
+	i := 0
+	for _, p := range o.Patterns {
+		for _, cell := range o.Cells {
+			c := Case{
+				Seed:    CaseSeed(o.Seed, i),
+				Nodes:   o.Nodes,
+				Ops:     o.Ops,
+				Rounds:  o.Rounds,
+				Pattern: p,
+				Cell:    cell,
+				Faults:  o.Faults,
+			}
+			i++
+			ops := Generate(c.Pattern, c.Seed, c.Nodes, c.Ops)
+			res := RunOps(c, ops)
+			if res.Failed() && o.Shrink {
+				min, runs := Shrink(c, ops, o.MaxShrinkRuns)
+				res.Reproducer = FormatOps(min)
+				res.ShrinkRuns = runs
+				l, s := CountOps(min)
+				res.ShrunkOps = l + s
+			}
+			rep.Results = append(rep.Results, res)
+			if o.Progress != nil {
+				status := "ok"
+				if res.Failed() {
+					status = "FAIL"
+				}
+				fmt.Fprintf(o.Progress, "%-4s %v\n", status, c)
+			}
+		}
+	}
+	return rep
+}
+
+// RunOps executes one case on the given streams. It never panics:
+// simulator deadlock panics are captured in the result.
+func RunOps(c Case, ops [][]cpu.Op) (res *Result) {
+	res = &Result{Case: c}
+	res.Loads, res.Stores = CountOps(ops)
+
+	var update func(topology.Addr) bool
+	if c.Cell.Update {
+		update = updatePredicate
+	}
+	m := machine.New(machine.Config{
+		Nodes:      c.Nodes,
+		Stages:     c.Cell.Stages,
+		Multicast:  c.Cell.Multicast,
+		Mode:       c.Cell.Mode,
+		UpdateMode: update,
+		Faults:     c.Faults,
+		// A short quantum makes the processors interleave at fine grain,
+		// which is where protocol races live.
+		CPU: cpu.Config{Quantum: 1000},
+	})
+	orc := newOracle(update)
+	vt := m.TrackValues(orc)
+	firstInvalid := m.AutoValidate()
+	var col *trace.Collector
+	if c.Trace {
+		col = trace.NewCollector(8192)
+		m.SetTracer(col.Tracer())
+	}
+
+	finish := func() {
+		res.Violations = orc.Violations()
+		res.TotalViolations = orc.total
+		if err := firstInvalid(); err != nil {
+			res.ValidateErr = err.Error()
+		}
+		if col != nil && res.Failed() {
+			if len(res.Violations) > 0 {
+				var b strings.Builder
+				fmt.Fprintf(&b, "deliveries for %v:\n", res.Violations[0].Addr)
+				for _, ev := range col.Deliveries(res.Violations[0].Addr) {
+					fmt.Fprintf(&b, "  %v\n", ev)
+				}
+				res.TraceDump = b.String()
+			} else {
+				res.TraceDump = col.String()
+			}
+		}
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			res.Panic = fmt.Sprint(r)
+			finish()
+		}
+	}()
+
+	rounds := c.Rounds
+	if rounds < 1 {
+		rounds = 1
+	}
+	for r := 0; r < rounds; r++ {
+		progs := make([]cpu.Program, c.Nodes)
+		for n := range progs {
+			progs[n] = &cpu.SliceProgram{Ops: roundSlice(ops[n], r, rounds)}
+		}
+		mr := m.Run(progs)
+		res.Quiescents++
+		res.SimTime = mr.Time
+		res.Events = mr.Events
+		res.Misses = mr.Totals().Misses
+		if orc.total > 0 || firstInvalid() != nil {
+			break // already failing: stop early so shrinking stays cheap
+		}
+	}
+	if orc.total == 0 && firstInvalid() == nil {
+		orc.checkFinal(m, vt, Universe(ops))
+	}
+	finish()
+	return res
+}
+
+// roundSlice returns stream r of rounds equal chunks of ops.
+func roundSlice(ops []cpu.Op, r, rounds int) []cpu.Op {
+	chunk := (len(ops) + rounds - 1) / rounds
+	lo := r * chunk
+	if lo >= len(ops) {
+		return nil
+	}
+	hi := lo + chunk
+	if hi > len(ops) {
+		hi = len(ops)
+	}
+	return ops[lo:hi]
+}
+
+// Report is the outcome of a full sweep.
+type Report struct {
+	Options Options
+	Results []*Result
+}
+
+// Failed reports whether any case failed.
+func (r *Report) Failed() bool {
+	for _, res := range r.Results {
+		if res.Failed() {
+			return true
+		}
+	}
+	return false
+}
+
+// Failures returns the failing cases.
+func (r *Report) Failures() []*Result {
+	var out []*Result
+	for _, res := range r.Results {
+		if res.Failed() {
+			out = append(out, res)
+		}
+	}
+	return out
+}
+
+// String renders the deterministic report: same seed and options yield
+// byte-identical output.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fuzz seed=%d nodes=%d ops/case=%d rounds=%d cases=%d\n",
+		r.Options.Seed, r.Options.Nodes, r.Options.Ops, r.Options.Rounds, len(r.Results))
+	var loads, stores int
+	var events uint64
+	for _, res := range r.Results {
+		status := "ok  "
+		if res.Failed() {
+			status = "FAIL"
+		}
+		fmt.Fprintf(&b, "%s %-17v %-24v seed=%-20d ld=%-6d st=%-6d miss=%-6d t=%v\n",
+			status, res.Case.Pattern, res.Case.Cell, res.Case.Seed,
+			res.Loads, res.Stores, res.Misses, res.SimTime)
+		loads += res.Loads
+		stores += res.Stores
+		events += res.Events
+		if !res.Failed() {
+			continue
+		}
+		if res.Panic != "" {
+			fmt.Fprintf(&b, "     panic: %s\n", res.Panic)
+		}
+		if res.ValidateErr != "" {
+			fmt.Fprintf(&b, "     validate: %s\n", res.ValidateErr)
+		}
+		for _, v := range res.Violations {
+			fmt.Fprintf(&b, "     violation: %v\n", v)
+		}
+		if res.TotalViolations > len(res.Violations) {
+			fmt.Fprintf(&b, "     (+%d more violations)\n", res.TotalViolations-len(res.Violations))
+		}
+		if res.Reproducer != "" {
+			fmt.Fprintf(&b, "     shrunk to %d ops in %d runs:\n", res.ShrunkOps, res.ShrinkRuns)
+			for _, line := range strings.Split(strings.TrimRight(res.Reproducer, "\n"), "\n") {
+				fmt.Fprintf(&b, "       %s\n", line)
+			}
+			fmt.Fprintf(&b, "     replay: -replay %d\n", res.Case.Seed)
+		}
+	}
+	fails := len(r.Failures())
+	fmt.Fprintf(&b, "total: %d loads, %d stores, %d events, %d/%d cases failed\n",
+		loads, stores, events, fails, len(r.Results))
+	return b.String()
+}

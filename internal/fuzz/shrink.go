@@ -1,0 +1,68 @@
+package fuzz
+
+import "cenju4/internal/cpu"
+
+// Shrink minimizes a failing op set: it repeatedly re-executes the case
+// on candidate subsets (whole-node elimination, then per-node chunk
+// removal with halving chunk sizes, ddmin style) and keeps any
+// candidate that still fails. It returns the minimized streams and the
+// number of re-executions spent; maxRuns bounds the work on stubborn
+// failures. Determinism of the simulator makes every probe reliable:
+// a candidate either always fails or never does.
+func Shrink(c Case, ops [][]cpu.Op, maxRuns int) ([][]cpu.Op, int) {
+	runs := 0
+	fails := func(cand [][]cpu.Op) bool {
+		if runs >= maxRuns {
+			return false
+		}
+		runs++
+		return RunOps(c, cand).Failed()
+	}
+
+	cur := copyOps(ops)
+	// Pass 1: silence whole nodes.
+	for n := range cur {
+		if len(cur[n]) == 0 {
+			continue
+		}
+		cand := copyOps(cur)
+		cand[n] = nil
+		if fails(cand) {
+			cur = cand
+		}
+	}
+	// Pass 2: per-node chunk removal, halving the chunk until single ops.
+	improved := true
+	for improved && runs < maxRuns {
+		improved = false
+		for n := range cur {
+			for size := (len(cur[n]) + 1) / 2; size >= 1; size /= 2 {
+				for start := 0; start+size <= len(cur[n]) && runs < maxRuns; {
+					cand := copyOps(cur)
+					cand[n] = without(cur[n], start, size)
+					if fails(cand) {
+						cur = cand
+						improved = true
+					} else {
+						start += size
+					}
+				}
+			}
+		}
+	}
+	return cur, runs
+}
+
+func copyOps(ops [][]cpu.Op) [][]cpu.Op {
+	out := make([][]cpu.Op, len(ops))
+	for i, s := range ops {
+		out[i] = append([]cpu.Op(nil), s...)
+	}
+	return out
+}
+
+// without returns s with s[start:start+size] removed.
+func without(s []cpu.Op, start, size int) []cpu.Op {
+	out := append([]cpu.Op(nil), s[:start]...)
+	return append(out, s[start+size:]...)
+}

@@ -43,6 +43,10 @@ type Config struct {
 	// UpdateMode forwards to core.Config: blocks handled by the
 	// update-protocol extension.
 	UpdateMode func(topology.Addr) bool
+	// Faults forwards deliberate protocol-bug injection to every
+	// controller (used by the fuzzing harness's self-tests; nil in
+	// production configurations).
+	Faults *core.Faults
 }
 
 func (c Config) withDefaults() Config {
@@ -57,12 +61,13 @@ func (c Config) withDefaults() Config {
 
 // Machine is one assembled system.
 type Machine struct {
-	cfg   Config
-	eng   *sim.Engine
-	net   *network.Network
-	world *mpi.World
-	ctrls []*core.Controller
-	cpus  []*cpu.CPU
+	cfg       Config
+	eng       *sim.Engine
+	net       *network.Network
+	world     *mpi.World
+	ctrls     []*core.Controller
+	cpus      []*cpu.CPU
+	quiescent []func()
 }
 
 // New builds a machine.
@@ -91,6 +96,7 @@ func New(cfg Config) *Machine {
 			Cache:               cfg.Cache,
 			SinglecastThreshold: cfg.SinglecastThreshold,
 			UpdateMode:          cfg.UpdateMode,
+			Faults:              cfg.Faults,
 		})
 		m.net.Attach(node, m.ctrls[i].Deliver)
 		cpuCfg := cfg.CPU
@@ -125,6 +131,48 @@ func (m *Machine) SetTracer(t core.Tracer) {
 	for _, c := range m.ctrls {
 		c.SetTracer(t)
 	}
+}
+
+// TrackValues attaches a machine-wide data-value tracker reporting to
+// obs and returns it. The tracker mirrors block data movement through
+// every controller so a consistency oracle (internal/fuzz) can check
+// that loads observe the values coherence order requires.
+func (m *Machine) TrackValues(obs core.ValueObserver) *core.ValueTracker {
+	vt := core.NewValueTracker(obs)
+	for _, c := range m.ctrls {
+		c.SetValueTracker(vt)
+	}
+	return vt
+}
+
+// OnQuiescent registers fn to be invoked at every quiescent point: each
+// time the event queue drains during Run — once at the end of a single
+// Run, and once per round for a driver that injects work in rounds.
+// Callbacks run with the machine idle, so Machine.Validate holds inside
+// them.
+func (m *Machine) OnQuiescent(fn func()) {
+	m.quiescent = append(m.quiescent, fn)
+	if len(m.quiescent) == 1 {
+		m.eng.SetIdleFunc(func() {
+			for _, f := range m.quiescent {
+				f()
+			}
+		})
+	}
+}
+
+// AutoValidate arranges for Validate to run at every quiescent point
+// and returns a getter for the first violation found (nil so far).
+// Callers — the fuzzer, tests, long workload harnesses — no longer
+// hand-roll idle detection around Validate.
+func (m *Machine) AutoValidate() func() error {
+	var first error
+	m.OnQuiescent(func() {
+		if first == nil {
+			first = m.Validate()
+		}
+	})
+	return func() error { return first }
 }
 
 // LatencyHistograms merges every node's per-request-kind transaction

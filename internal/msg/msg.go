@@ -138,6 +138,10 @@ type Message struct {
 	Gather *Gather
 	// SentAt is the simulation time the message entered the network.
 	SentAt sim.Time
+	// Val is the tagged block value riding with a HasData message. It is
+	// maintained only when a core.ValueTracker is attached (the fuzzing
+	// harness's consistency oracle); timing never depends on it.
+	Val uint64
 }
 
 // GatherContribution reports whether this message is a reply to be

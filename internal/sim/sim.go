@@ -76,6 +76,7 @@ type Engine struct {
 	queue   eventHeap
 	fired   uint64
 	stopped bool
+	idle    func()
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -133,12 +134,28 @@ func (e *Engine) Step() bool {
 	return true
 }
 
+// SetIdleFunc installs fn (nil removes it), invoked by Run every time
+// the event queue drains — the machine's quiescent points. fn may
+// schedule new events; Run then continues. Drivers that inject work in
+// rounds therefore get one callback per round without hand-rolling
+// idle detection.
+func (e *Engine) SetIdleFunc(fn func()) { e.idle = fn }
+
 // Run executes events until the queue drains or Stop is called. It
 // returns the number of events executed by this call.
 func (e *Engine) Run() uint64 {
 	start := e.fired
 	e.stopped = false
-	for !e.stopped && e.Step() {
+	for !e.stopped {
+		if e.Step() {
+			continue
+		}
+		if e.idle != nil {
+			e.idle()
+		}
+		if len(e.queue) == 0 {
+			break
+		}
 	}
 	return e.fired - start
 }

@@ -1,0 +1,92 @@
+package stats
+
+import (
+	"testing"
+
+	"cenju4/internal/sim"
+)
+
+// Percentile edge cases: single samples, the p0/p100 extremes with
+// out-of-range clamping, exact bucket boundaries, and zero samples.
+
+func TestSingleSamplePercentiles(t *testing.T) {
+	var h Histogram
+	h.Add(100)
+	for _, p := range []float64{0, 1, 50, 99, 100} {
+		if got := h.Percentile(p); got != 100 {
+			t.Errorf("p%v of a single 100ns sample = %v, want 100ns", p, got)
+		}
+	}
+	if h.Min() != 100 || h.Max() != 100 || h.Mean() != 100 {
+		t.Errorf("min/max/mean = %v/%v/%v, want 100 each", h.Min(), h.Max(), h.Mean())
+	}
+}
+
+func TestPercentileExtremes(t *testing.T) {
+	var h Histogram
+	for v := sim.Time(1); v <= 1000; v++ {
+		h.Add(v)
+	}
+	p0, p100 := h.Percentile(0), h.Percentile(100)
+	if p100 != h.Max() {
+		t.Errorf("p100 = %v, want max %v", p100, h.Max())
+	}
+	if p0 < h.Min() || p0 > 2*h.Min() {
+		t.Errorf("p0 = %v, want within the log-bucket bound [%v, %v]", p0, h.Min(), 2*h.Min())
+	}
+	// Out-of-range p clamps to the extremes.
+	if got := h.Percentile(-5); got != p0 {
+		t.Errorf("p(-5) = %v, want p0 %v", got, p0)
+	}
+	if got := h.Percentile(150); got != p100 {
+		t.Errorf("p(150) = %v, want p100 %v", got, p100)
+	}
+}
+
+// TestPercentileBucketBoundaries pins the reported upper bounds for
+// samples sitting exactly on power-of-two bucket edges.
+func TestPercentileBucketBoundaries(t *testing.T) {
+	var h Histogram
+	h.Add(1) // bucket [1,2)
+	h.Add(2) // bucket [2,4)
+	h.Add(4) // bucket [4,8)
+	cases := []struct {
+		p    float64
+		want sim.Time
+	}{
+		{0, 2},    // first sample's bucket top edge
+		{33.3, 2}, // still the first bucket
+		{50, 4},   // second bucket's top edge
+		{99, 4},   // third bucket, edge 8 clamped to max
+		{100, 4},
+	}
+	for _, c := range cases {
+		if got := h.Percentile(c.p); got != c.want {
+			t.Errorf("p%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestZeroSample(t *testing.T) {
+	var h Histogram
+	h.Add(0)
+	if h.Count() != 1 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatalf("count/min/max = %d/%v/%v after Add(0)", h.Count(), h.Min(), h.Max())
+	}
+	if got := h.Percentile(50); got != 0 {
+		t.Errorf("p50 of a zero sample = %v, want 0", got)
+	}
+}
+
+func TestMergeEmpty(t *testing.T) {
+	var a, b Histogram
+	a.Merge(&b) // empty into empty: still empty
+	if a.Count() != 0 || a.Percentile(50) != 0 {
+		t.Fatalf("empty merge produced samples: %v", a.String())
+	}
+	b.Add(7)
+	a.Merge(&b) // into empty: adopts min
+	if a.Min() != 7 || a.Count() != 1 {
+		t.Fatalf("merge into empty: min=%v count=%d, want 7/1", a.Min(), a.Count())
+	}
+}
