@@ -179,7 +179,7 @@ func BenchmarkAblationImprecision(b *testing.B) {
 	skipHeavy(b)
 	var worst float64
 	for i := 0; i < b.N; i++ {
-		r := experiments.AblationImprecision(1024)
+		r := experiments.AblationImprecision(1024, 7)
 		for _, p := range r.Points {
 			if o := float64(p.Targets) / float64(p.Sharers); o > worst {
 				worst = o

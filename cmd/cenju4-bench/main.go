@@ -27,6 +27,8 @@ func main() {
 	scale := flag.Float64("scale", 0, "override problem scale (1.0 = NPB Class A)")
 	iters := flag.Int("iters", 0, "override iteration count")
 	only := flag.String("only", "", "comma-separated experiments to run (default: all)")
+	seed := flag.Int64("seed", 0, "Monte-Carlo seed for Figure 4 (0 = preset default)")
+	ablSeed := flag.Int64("ablation-seed", 7, "sharer-placement seed for the imprecision ablation")
 	flag.Parse()
 
 	cfg := experiments.Quick()
@@ -40,6 +42,9 @@ func main() {
 	}
 	if *iters != 0 {
 		cfg.Iterations = *iters
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
 	}
 
 	selected := map[string]bool{}
@@ -70,7 +75,7 @@ func main() {
 			b.WriteString("\n")
 			b.WriteString(experiments.AblationSinglecastThreshold(64).Render())
 			b.WriteString("\n")
-			b.WriteString(experiments.AblationImprecision(1024).Render())
+			b.WriteString(experiments.AblationImprecision(1024, *ablSeed).Render())
 			return b.String()
 		}},
 	}

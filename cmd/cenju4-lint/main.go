@@ -1,0 +1,104 @@
+// Command cenju4-lint runs the repository's custom static-analysis
+// suite (internal/analysis) over Go packages and fails on any
+// diagnostic. CI runs it as a required job; run it locally with:
+//
+//	go run ./cmd/cenju4-lint ./...
+//
+// Usage:
+//
+//	cenju4-lint [-only a,b] [-list] [packages]
+//
+// The analyzers enforce the protocol's compile-time invariants:
+//
+//	exhaustiveswitch  switches over protocol enums handle every
+//	                  constant or panic in an explicit default
+//	determinism       simulation packages don't range over maps, read
+//	                  the wall clock, or use the global math/rand
+//	enumnames         string-name tables stay index-synchronized with
+//	                  their const blocks
+//	simtime           event-handler contexts use sim.Engine virtual
+//	                  time, never the wall clock
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cenju4/internal/analysis"
+	"cenju4/internal/analysis/passes/determinism"
+	"cenju4/internal/analysis/passes/enumnames"
+	"cenju4/internal/analysis/passes/exhaustiveswitch"
+	"cenju4/internal/analysis/passes/simtime"
+)
+
+// All is the cenju4-lint suite in reporting order.
+var All = []*analysis.Analyzer{
+	exhaustiveswitch.Analyzer,
+	determinism.Analyzer,
+	enumnames.Analyzer,
+	simtime.Analyzer,
+}
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range All {
+			fmt.Printf("%-18s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers, err := selectAnalyzers(*only)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cenju4-lint: %v\n", err)
+		os.Exit(2)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cenju4-lint: %v\n", err)
+		os.Exit(2)
+	}
+	findings, err := analysis.RunAnalyzers(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cenju4-lint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "cenju4-lint: %d diagnostic(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// selectAnalyzers resolves the -only filter against the suite.
+func selectAnalyzers(only string) ([]*analysis.Analyzer, error) {
+	if only == "" {
+		return All, nil
+	}
+	byName := make(map[string]*analysis.Analyzer, len(All))
+	for _, a := range All {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(only, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (use -list)", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

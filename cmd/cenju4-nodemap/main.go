@@ -29,13 +29,9 @@ func main() {
 		os.Exit(2)
 	}
 
-	var sharers []topology.NodeID
-	for _, arg := range flag.Args() {
-		n, err := strconv.Atoi(arg)
-		if err != nil || n < 0 || n >= *total {
-			log.Fatalf("bad node number %q (machine has %d nodes)", arg, *total)
-		}
-		sharers = append(sharers, topology.NodeID(n))
+	sharers, err := parseSharers(flag.Args(), *total)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	var e directory.Entry
@@ -62,4 +58,18 @@ func main() {
 		fmt.Printf("  %-28s %4d nodes represented (%.2fx)\n",
 			s.Name, m.Count(), float64(m.Count())/float64(len(sharers)))
 	}
+}
+
+// parseSharers turns the positional arguments into node IDs, rejecting
+// anything that is not a node number of a total-node machine.
+func parseSharers(args []string, total int) ([]topology.NodeID, error) {
+	var sharers []topology.NodeID
+	for _, arg := range args {
+		n, err := strconv.Atoi(arg)
+		if err != nil || n < 0 || n >= total {
+			return nil, fmt.Errorf("bad node number %q (machine has %d nodes)", arg, total)
+		}
+		sharers = append(sharers, topology.NodeID(n))
+	}
+	return sharers, nil
 }

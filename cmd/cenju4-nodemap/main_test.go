@@ -1,0 +1,51 @@
+package main
+
+import (
+	"testing"
+
+	"cenju4/internal/topology"
+)
+
+func TestParseSharers(t *testing.T) {
+	got, err := parseSharers([]string{"0", "4", "5", "32", "164"}, 1024)
+	if err != nil {
+		t.Fatalf("parseSharers: %v", err)
+	}
+	want := []topology.NodeID{0, 4, 5, 32, 164}
+	if len(got) != len(want) {
+		t.Fatalf("parseSharers = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("parseSharers = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestParseSharersEmpty(t *testing.T) {
+	got, err := parseSharers(nil, 16)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("parseSharers(nil) = %v, %v; want empty, nil", got, err)
+	}
+}
+
+func TestParseSharersRejects(t *testing.T) {
+	cases := []struct {
+		name  string
+		args  []string
+		total int
+	}{
+		{"non-numeric", []string{"abc"}, 1024},
+		{"negative", []string{"-1"}, 1024},
+		{"out of range", []string{"16"}, 16},
+		{"mixed good and bad", []string{"3", "oops"}, 16},
+		{"float", []string{"1.5"}, 16},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got, err := parseSharers(c.args, c.total); err == nil {
+				t.Fatalf("parseSharers(%v, %d) = %v, want error", c.args, c.total, got)
+			}
+		})
+	}
+}

@@ -1,0 +1,110 @@
+// Package analysis is a minimal, dependency-free reimplementation of
+// the golang.org/x/tools/go/analysis model: an Analyzer inspects one
+// typechecked package through a Pass and reports Diagnostics.
+//
+// The repository builds its own driver instead of depending on
+// x/tools. Packages are loaded from source and typechecked against
+// compiler export data obtained from `go list -export` (see Load), so
+// the suite needs nothing beyond the standard library and the go
+// toolchain — the same way bazel-style drivers feed gcimporter.
+//
+// The subset implemented here is exactly what the cenju4-lint suite
+// needs: syntax with comments, full type information, and positioned
+// diagnostics. Analyzers written against it keep the x/tools shape
+// (Name/Doc/Run, Pass.Reportf) so they could be ported to the real
+// framework by swapping imports.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// An Analyzer is one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and CLI filters. It
+	// must be a valid Go identifier.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer checks.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// A Diagnostic is one reported problem, anchored to a position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// A Pass presents one typechecked package to an Analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Finding is a diagnostic resolved to a file position, tagged with
+// the analyzer that produced it.
+type Finding struct {
+	Analyzer string
+	Position token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (%s)", f.Position, f.Message, f.Analyzer)
+}
+
+// RunAnalyzers applies every analyzer to every package and returns the
+// merged findings sorted by position.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var out []Finding
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Syntax,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
+			}
+			for _, d := range pass.diags {
+				out = append(out, Finding{
+					Analyzer: a.Name,
+					Position: pkg.Fset.Position(d.Pos),
+					Message:  d.Message,
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Position, out[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out, nil
+}

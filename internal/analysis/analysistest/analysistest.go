@@ -1,0 +1,248 @@
+// Package analysistest runs one analyzer over a fixture package and
+// compares its diagnostics against expectations written in the
+// fixture source, mirroring golang.org/x/tools/go/analysis/analysistest
+// on top of this repository's dependency-free analysis framework.
+//
+// A fixture is a directory of Go files (conventionally under a
+// testdata directory, which the go tool — and therefore the lint
+// driver — never builds). Expectations ride on the offending line:
+//
+//	switch k { // want `switch over msg.Kind is not exhaustive`
+//
+// Each want comment carries one or more Go string literals, each a
+// regular expression that must match a diagnostic reported on that
+// line; diagnostics with no matching expectation, and expectations
+// with no matching diagnostic, fail the test. Fixtures may import
+// module and standard-library packages — dependencies are resolved
+// through `go list -export`, like the real driver.
+//
+// Because fixtures sit outside the module's package graph, a fixture
+// that must appear to the analyzer as a particular package (e.g. to
+// land inside the determinism scope) declares its import path with a
+// directive comment:
+//
+//	//lintfixture:path cenju4/internal/core
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"cenju4/internal/analysis"
+)
+
+// pathDirective pins a fixture package's import path.
+const pathDirective = "//lintfixture:path "
+
+// Run applies the analyzer to the fixture package in dir and reports
+// any mismatch against the fixture's want comments as test errors.
+func Run(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	pkg, err := load(dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	findings, err := analysis.RunAnalyzers([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+
+	expects, err := expectations(pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		if !claim(expects, f) {
+			t.Errorf("%s: unexpected diagnostic: %s", f.Position, f.Message)
+		}
+	}
+	for _, e := range expects {
+		if !e.met {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.re)
+		}
+	}
+}
+
+// load parses and typechecks the fixture directory as one package.
+func load(dir string) (*analysis.Package, error) {
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	sort.Strings(names)
+
+	fset := token.NewFileSet()
+	var syntax []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		syntax = append(syntax, f)
+	}
+
+	pkgPath := "cenju4/lintfixture/" + filepath.Base(dir)
+	if p := directivePath(syntax); p != "" {
+		pkgPath = p
+	}
+
+	exports, err := exportData(dir, imports(syntax))
+	if err != nil {
+		return nil, err
+	}
+	imp := analysis.ExportImporter(fset, exports)
+	return analysis.Check(fset, imp, pkgPath, syntax)
+}
+
+// directivePath returns the lintfixture:path override, if any file
+// declares one.
+func directivePath(files []*ast.File) string {
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if strings.HasPrefix(c.Text, pathDirective) {
+					return strings.TrimSpace(strings.TrimPrefix(c.Text, pathDirective))
+				}
+			}
+		}
+	}
+	return ""
+}
+
+// imports collects the distinct import paths across the fixture files.
+func imports(files []*ast.File) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || seen[path] {
+				continue
+			}
+			seen[path] = true
+			out = append(out, path)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// exportData resolves the fixture's imports (and their transitive
+// dependencies) to compiler export data files via `go list -export`,
+// run from the enclosing module.
+func exportData(dir string, paths []string) (map[string]string, error) {
+	if len(paths) == 0 {
+		return nil, nil
+	}
+	root, err := moduleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	return analysis.ListExports(root, paths...)
+}
+
+// moduleRoot walks up from dir to the directory holding go.mod.
+func moduleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for d := abs; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("no go.mod above %s", abs)
+		}
+		d = parent
+	}
+}
+
+// expectation is one parsed want clause.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	met  bool
+}
+
+// expectations parses every want comment in the fixture.
+func expectations(pkg *analysis.Package) ([]*expectation, error) {
+	var out []*expectation
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				res, err := parseWant(strings.TrimPrefix(text, "want "))
+				if err != nil {
+					return nil, fmt.Errorf("%s: %v", pos, err)
+				}
+				for _, re := range res {
+					out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// parseWant reads the sequence of Go string literals after "want",
+// each compiled as a regexp.
+func parseWant(s string) ([]*regexp.Regexp, error) {
+	var out []*regexp.Regexp
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			break
+		}
+		lit, err := strconv.QuotedPrefix(s)
+		if err != nil {
+			return nil, fmt.Errorf("want clause: bad string literal at %q", s)
+		}
+		unq, err := strconv.Unquote(lit)
+		if err != nil {
+			return nil, err
+		}
+		re, err := regexp.Compile(unq)
+		if err != nil {
+			return nil, fmt.Errorf("want clause: %v", err)
+		}
+		out = append(out, re)
+		s = s[len(lit):]
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("want clause with no pattern")
+	}
+	return out, nil
+}
+
+// claim marks the first unmet expectation matching the finding.
+func claim(expects []*expectation, f analysis.Finding) bool {
+	for _, e := range expects {
+		if e.met || e.file != f.Position.Filename || e.line != f.Position.Line {
+			continue
+		}
+		if e.re.MatchString(f.Message) {
+			e.met = true
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,39 @@
+package analysis
+
+import "testing"
+
+// TestLoadModulePackages exercises the export-data loading path against
+// the real module: the msg package must typecheck with its transitive
+// dependencies imported from `go list -export` artifacts.
+func TestLoadModulePackages(t *testing.T) {
+	pkgs, err := Load("../..", "./internal/msg", "./internal/core")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("loaded %d packages, want 2", len(pkgs))
+	}
+	for _, p := range pkgs {
+		if len(p.Syntax) == 0 {
+			t.Errorf("%s: no syntax", p.ImportPath)
+		}
+		if p.Types == nil || p.Types.Scope().Lookup("Kind") == nil && p.ImportPath == "cenju4/internal/msg" {
+			t.Errorf("%s: missing type info", p.ImportPath)
+		}
+	}
+}
+
+// TestLoadPatternAll loads every package in the module, the same call
+// the cenju4-lint driver makes.
+func TestLoadPatternAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the whole module")
+	}
+	pkgs, err := Load("../..", "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages", len(pkgs))
+	}
+}

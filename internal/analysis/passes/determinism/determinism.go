@@ -1,0 +1,100 @@
+// Package determinism enforces the simulator's bit-reproducibility
+// contract inside the simulation packages (core, sim, machine,
+// network, directory, npb): the same seed must replay byte-identically
+// (the fuzzer's shrinking and -replay flows depend on it).
+//
+// Three sources of run-to-run variation are banned there:
+//
+//   - ranging over a map, whose iteration order is randomized by the
+//     runtime and can leak into event order or rendered output; loops
+//     that are provably order-insensitive may carry a
+//     "cenju4:order-insensitive" comment on or directly above the
+//     range statement
+//   - wall-clock reads (time.Now, time.Since, ...), which make event
+//     timing depend on the host
+//   - the global math/rand source (rand.Intn, rand.Shuffle, ...),
+//     which is shared, lockable and seeded per-process; randomness
+//     must flow through an explicitly seeded *rand.Rand so a seed in
+//     a flag or config reproduces the stream
+package determinism
+
+import (
+	"go/ast"
+	"go/types"
+
+	"cenju4/internal/analysis"
+	"cenju4/internal/analysis/lintutil"
+)
+
+// Directive suppresses the map-range rule for one statement.
+const Directive = "cenju4:order-insensitive"
+
+// Analyzer is the determinism pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc: "simulation packages must not range over maps, read the wall " +
+		"clock, or use the global math/rand source",
+	Run: run,
+}
+
+// wallClock lists the time functions that read or depend on the host
+// clock. Pure value constructors (time.Duration arithmetic) are not
+// listed, but simulation packages have no business importing time at
+// all — the simtime analyzer enforces that separately.
+var wallClock = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+	"AfterFunc": true,
+}
+
+// seededRandOK lists the math/rand package functions that construct an
+// explicitly seeded generator rather than touching the global source.
+var seededRandOK = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !lintutil.SimPackages[pass.Pkg.Path()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		suppressed := lintutil.SuppressedLines(pass.Fset, f, Directive)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				checkRange(pass, n, suppressed)
+			case *ast.CallExpr:
+				checkCall(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkRange(pass *analysis.Pass, rs *ast.RangeStmt, suppressed map[int]bool) {
+	tv, ok := pass.TypesInfo.Types[rs.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	if suppressed[pass.Fset.Position(rs.For).Line] {
+		return
+	}
+	pass.Reportf(rs.For,
+		"range over map %s in a simulation package: iteration order is randomized and can reach event order; iterate sorted keys or mark the loop %q",
+		types.ExprString(rs.X), Directive)
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	if name, ok := lintutil.PkgFunc(pass.TypesInfo, call, "time"); ok && wallClock[name] {
+		pass.Reportf(call.Pos(),
+			"time.%s reads the wall clock in a simulation package; use sim.Engine virtual time", name)
+	}
+	if name, ok := lintutil.PkgFunc(pass.TypesInfo, call, "math/rand"); ok && !seededRandOK[name] {
+		pass.Reportf(call.Pos(),
+			"rand.%s uses the global math/rand source; draw from an explicitly seeded *rand.Rand plumbed from flags or config", name)
+	}
+}

@@ -1,0 +1,19 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"cenju4/internal/analysis/analysistest"
+	"cenju4/internal/analysis/passes/determinism"
+)
+
+// TestInSimulationScope checks the rules fire inside a package posing
+// as cenju4/internal/core.
+func TestInSimulationScope(t *testing.T) {
+	analysistest.Run(t, "testdata/insim", determinism.Analyzer)
+}
+
+// TestOutOfScope checks that non-simulation packages are untouched.
+func TestOutOfScope(t *testing.T) {
+	analysistest.Run(t, "testdata/outofscope", determinism.Analyzer)
+}

@@ -1,0 +1,68 @@
+// Fixture for the determinism analyzer, posing as a simulation package
+// via the path directive below: map ranges, wall-clock reads and the
+// global math/rand source must all be flagged here.
+//
+//lintfixture:path cenju4/internal/core
+package fixture
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func mapRange(m map[int]int) int {
+	sum := 0
+	for k, v := range m { // want `range over map m in a simulation package: iteration order is randomized`
+		sum += k + v
+	}
+	return sum
+}
+
+func mapRangeSuppressed(m map[int]int) int {
+	sum := 0
+	for _, v := range m { //cenju4:order-insensitive — commutative sum
+		sum += v
+	}
+	return sum
+}
+
+func mapRangeSortedKeys(m map[int]int) []int {
+	keys := make([]int, 0, len(m))
+	//cenju4:order-insensitive — keys are sorted before use
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+func sliceRange(s []int) int {
+	sum := 0
+	for _, v := range s { // slices iterate in order: fine
+		sum += v
+	}
+	return sum
+}
+
+func wallClock() int64 {
+	t := time.Now() // want `time.Now reads the wall clock in a simulation package`
+	return t.Unix()
+}
+
+func wallElapsed(since time.Time) float64 {
+	return time.Since(since).Seconds() // want `time.Since reads the wall clock`
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `rand.Intn uses the global math/rand source`
+}
+
+func globalShuffle(s []int) {
+	rand.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] }) // want `rand.Shuffle uses the global math/rand source`
+}
+
+func seededRand(seed int64) int {
+	rng := rand.New(rand.NewSource(seed)) // constructors are the accepted pattern
+	return rng.Intn(10)
+}

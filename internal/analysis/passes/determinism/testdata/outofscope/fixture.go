@@ -1,0 +1,22 @@
+// Fixture for the determinism analyzer's scoping: this package keeps
+// the default (non-simulation) fixture path, so wall clocks, map
+// ranges and the global rand source are all allowed — drivers and
+// reporting code are free to use them.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Time { return time.Now() }
+
+func globalRand() int { return rand.Intn(10) }
+
+func mapRange(m map[int]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,145 @@
+// Package enumnames keeps string-name tables index-synchronized with
+// the const blocks they describe.
+//
+// The repository's convention is a table named after its enum —
+// msg.Kind has kindNames, fuzz.Pattern has patternNames — consumed by
+// the String method. Adding an enum constant without extending the
+// table silently shifts or truncates rendered names (and, for the
+// fuzzer's byte-identical reports, changes output only on the new
+// value's first appearance — the worst kind of drift to spot in a
+// diff). The analyzer checks:
+//
+//   - array/slice tables ("<enum>Names = [...]string{...}"): the
+//     element count must equal the enum's max constant value + 1, and
+//     the enum must be gap-free, since the table is indexed by value
+//   - map tables keyed by an enum type: every declared constant must
+//     appear as a key
+package enumnames
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"cenju4/internal/analysis"
+	"cenju4/internal/analysis/lintutil"
+)
+
+// Analyzer is the enumnames pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "enumnames",
+	Doc:  "enum string-name tables must cover every declared constant",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				checkSpec(pass, vs)
+			}
+		}
+	}
+	return nil
+}
+
+func checkSpec(pass *analysis.Pass, vs *ast.ValueSpec) {
+	if len(vs.Names) != 1 || len(vs.Values) != 1 {
+		return
+	}
+	name := vs.Names[0].Name
+	cl, ok := vs.Values[0].(*ast.CompositeLit)
+	if !ok {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[cl]
+	if !ok {
+		return
+	}
+	switch t := tv.Type.Underlying().(type) {
+	case *types.Array, *types.Slice:
+		if !strings.HasSuffix(name, "Names") {
+			return
+		}
+		checkIndexedTable(pass, vs, name, cl)
+	case *types.Map:
+		if enum := lintutil.EnumOf(t.Key()); enum != nil && strings.HasSuffix(name, "Names") {
+			checkMapTable(pass, vs, name, cl, enum)
+		}
+	}
+}
+
+// checkIndexedTable matches "<enum>Names" against an enum declared in
+// the same package (kindNames -> Kind) and compares lengths.
+func checkIndexedTable(pass *analysis.Pass, vs *ast.ValueSpec, name string, cl *ast.CompositeLit) {
+	enum := enumByName(pass, strings.TrimSuffix(name, "Names"))
+	if enum == nil {
+		return
+	}
+	if !enum.Contiguous() {
+		pass.Reportf(vs.Pos(),
+			"%s indexes by %s value, but the enum's constants have gaps (0..%d)",
+			name, enum.Name(), enum.MaxVal())
+		return
+	}
+	want := int(enum.MaxVal()) + 1
+	if len(cl.Elts) != want {
+		pass.Reportf(vs.Pos(),
+			"%s has %d entries but %s declares %d constants; the table and const block drifted apart",
+			name, len(cl.Elts), enum.Name(), want)
+	}
+}
+
+// checkMapTable verifies every enum constant appears as a key.
+func checkMapTable(pass *analysis.Pass, vs *ast.ValueSpec, name string, cl *ast.CompositeLit, enum *lintutil.Enum) {
+	present := make(map[int64]bool)
+	for _, elt := range cl.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			return
+		}
+		cv := pass.TypesInfo.Types[kv.Key].Value
+		if cv == nil || cv.Kind() != constant.Int {
+			return // non-constant key: not a static table
+		}
+		if v, exact := constant.Int64Val(cv); exact {
+			present[v] = true
+		}
+	}
+	var missing []string
+	for _, c := range enum.Consts {
+		if !present[c.Val] {
+			missing = append(missing, c.Name)
+		}
+	}
+	if len(missing) > 0 {
+		pass.Reportf(vs.Pos(), "%s is missing entries for %s",
+			name, strings.Join(missing, ", "))
+	}
+}
+
+// enumByName finds an enum type in the package being analyzed whose
+// name matches prefix case-insensitively (kindNames' prefix "kind"
+// matches type Kind).
+func enumByName(pass *analysis.Pass, prefix string) *lintutil.Enum {
+	scope := pass.Pkg.Scope()
+	for _, n := range scope.Names() {
+		tn, ok := scope.Lookup(n).(*types.TypeName)
+		if !ok || !strings.EqualFold(tn.Name(), prefix) {
+			continue
+		}
+		if enum := lintutil.EnumOf(tn.Type()); enum != nil {
+			return enum
+		}
+	}
+	return nil
+}

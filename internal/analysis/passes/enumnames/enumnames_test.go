@@ -1,0 +1,12 @@
+package enumnames_test
+
+import (
+	"testing"
+
+	"cenju4/internal/analysis/analysistest"
+	"cenju4/internal/analysis/passes/enumnames"
+)
+
+func TestEnumNames(t *testing.T) {
+	analysistest.Run(t, "testdata", enumnames.Analyzer)
+}

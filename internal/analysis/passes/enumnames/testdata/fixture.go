@@ -1,0 +1,69 @@
+// Fixture for the enumnames analyzer: string-name tables must stay
+// index-synchronized with their const blocks.
+package fixture
+
+// Color's table is short one entry: the silent-drift case the
+// analyzer exists for.
+type Color uint8
+
+const (
+	ColorRed Color = iota
+	ColorGreen
+	ColorBlue
+)
+
+var colorNames = [...]string{"red", "green"} // want `colorNames has 2 entries but fixture.Color declares 3 constants`
+
+// Shade's table is complete.
+type Shade uint8
+
+const (
+	ShadeLight Shade = iota
+	ShadeDark
+)
+
+var shadeNames = [...]string{"light", "dark"}
+
+// Tone uses a map table missing a key.
+type Tone uint8
+
+const (
+	ToneLow Tone = iota
+	ToneMid
+	ToneHigh
+)
+
+var toneNames = map[Tone]string{ // want `toneNames is missing entries for ToneHigh`
+	ToneLow: "low",
+	ToneMid: "mid",
+}
+
+// Pitch's map table is complete.
+type Pitch uint8
+
+const (
+	PitchFlat Pitch = iota
+	PitchSharp
+)
+
+var pitchNames = map[Pitch]string{
+	PitchFlat:  "flat",
+	PitchSharp: "sharp",
+}
+
+// Mask's constants have gaps, so an index-synchronized table cannot
+// exist at all.
+type Mask uint8
+
+const (
+	MaskA Mask = 1
+	MaskB Mask = 4
+)
+
+var maskNames = []string{"a", "b"} // want `maskNames indexes by fixture.Mask value, but the enum's constants have gaps`
+
+// otherNames has no matching enum: ignored.
+var otherNames = []string{"x", "y"}
+
+// notATable is not a Names var: ignored even though Color is short.
+var notATable = []string{"red"}

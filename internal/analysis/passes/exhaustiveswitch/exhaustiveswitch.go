@@ -1,0 +1,104 @@
+// Package exhaustiveswitch checks that every switch over a protocol
+// enum — msg.Kind, cache.LineState, directory.State and any other
+// named integer type with a constant set declared in this module —
+// either handles all declared constants or carries an explicit
+// panicking default.
+//
+// The queuing protocol's liveness argument (the home never NACKs and
+// every request completes) rests on every handler covering every
+// reachable message-kind x state combination; a silently ignored enum
+// value is exactly the kind of hole a new message kind would open.
+// Transition tables must therefore fail loudly: handle everything, or
+// panic on what you believe unreachable.
+package exhaustiveswitch
+
+import (
+	"go/ast"
+	"go/constant"
+	"strings"
+
+	"cenju4/internal/analysis"
+	"cenju4/internal/analysis/lintutil"
+)
+
+// Analyzer is the exhaustiveswitch pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "exhaustiveswitch",
+	Doc: "switches over protocol enums must handle every constant " +
+		"or carry a panicking default",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			checkSwitch(pass, sw)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkSwitch(pass *analysis.Pass, sw *ast.SwitchStmt) {
+	tv, ok := pass.TypesInfo.Types[sw.Tag]
+	if !ok {
+		return
+	}
+	enum := lintutil.EnumOf(tv.Type)
+	if enum == nil {
+		return
+	}
+
+	handled := make(map[int64]bool)
+	var deflt *ast.CaseClause
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			return
+		}
+		if cc.List == nil {
+			deflt = cc
+			continue
+		}
+		for _, e := range cc.List {
+			cv := pass.TypesInfo.Types[e].Value
+			if cv == nil || cv.Kind() != constant.Int {
+				// A non-constant case guard: the switch is doing value
+				// computation, not transition dispatch; leave it alone.
+				return
+			}
+			v, exact := constant.Int64Val(cv)
+			if !exact {
+				return
+			}
+			handled[v] = true
+		}
+	}
+
+	var missing []string
+	for _, c := range enum.Consts {
+		if !handled[c.Val] {
+			missing = append(missing, c.Name)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	if deflt != nil && lintutil.PanickingClause(pass.TypesInfo, deflt) {
+		return
+	}
+	list := strings.Join(missing, ", ")
+	if deflt == nil {
+		pass.Reportf(sw.Switch,
+			"switch over %s is not exhaustive: missing %s (add the cases or a panicking default)",
+			enum.Name(), list)
+		return
+	}
+	pass.Reportf(sw.Switch,
+		"switch over %s has a silent default but does not handle %s (handle them explicitly or panic in the default)",
+		enum.Name(), list)
+}

@@ -1,0 +1,12 @@
+package exhaustiveswitch_test
+
+import (
+	"testing"
+
+	"cenju4/internal/analysis/analysistest"
+	"cenju4/internal/analysis/passes/exhaustiveswitch"
+)
+
+func TestExhaustiveSwitch(t *testing.T) {
+	analysistest.Run(t, "testdata", exhaustiveswitch.Analyzer)
+}

@@ -1,0 +1,114 @@
+// Fixture for the exhaustiveswitch analyzer: switches over protocol
+// enums (module-declared integer types with constant sets) must handle
+// every constant or panic in an explicit default.
+package fixture
+
+import (
+	"fmt"
+
+	"cenju4/internal/msg"
+)
+
+// Phase is a local enum with three constants.
+type Phase uint8
+
+const (
+	PhaseIdle Phase = iota
+	PhaseBusy
+	PhaseDone
+)
+
+// missingCaseNoDefault drops PhaseDone on the floor.
+func missingCaseNoDefault(p Phase) int {
+	switch p { // want `switch over fixture.Phase is not exhaustive: missing PhaseDone`
+	case PhaseIdle:
+		return 0
+	case PhaseBusy:
+		return 1
+	}
+	return -1
+}
+
+// silentDefault hides the missing constant behind a default that
+// cannot fail loudly.
+func silentDefault(p Phase) int {
+	switch p { // want `switch over fixture.Phase has a silent default but does not handle PhaseDone`
+	case PhaseIdle, PhaseBusy:
+		return 0
+	default:
+		return -1
+	}
+}
+
+// exhaustive handles every constant: no default needed.
+func exhaustive(p Phase) int {
+	switch p {
+	case PhaseIdle:
+		return 0
+	case PhaseBusy:
+		return 1
+	case PhaseDone:
+		return 2
+	}
+	return -1
+}
+
+// panickingDefault is the accepted escape for deliberately unhandled
+// constants.
+func panickingDefault(p Phase) int {
+	switch p {
+	case PhaseIdle:
+		return 0
+	default:
+		panic(fmt.Sprintf("unhandled phase %d", p))
+	}
+}
+
+// importedEnum demonstrates the check across package boundaries: the
+// handler claims to cover home-bound kinds but misses most of the
+// message space without a panicking default.
+func importedEnum(k msg.Kind) bool {
+	switch k { // want `switch over msg.Kind is not exhaustive`
+	case msg.ReadShared, msg.ReadExclusive:
+		return true
+	}
+	return false
+}
+
+// importedEnumGuarded is fine: the default panics.
+func importedEnumGuarded(k msg.Kind) bool {
+	switch k {
+	case msg.ReadShared, msg.ReadExclusive:
+		return true
+	default:
+		panic("unreachable")
+	}
+}
+
+// notAnEnum: switches over plain integers are ignored.
+func notAnEnum(n int) int {
+	switch n {
+	case 0:
+		return 1
+	}
+	return 0
+}
+
+// taglessSwitch: condition dispatch is ignored.
+func taglessSwitch(p Phase) int {
+	switch {
+	case p == PhaseIdle:
+		return 0
+	default:
+		return 1
+	}
+}
+
+// nonConstantCase: value computation with a variable guard is ignored.
+func nonConstantCase(p, q Phase) int {
+	switch p {
+	case q:
+		return 0
+	}
+	return 1
+}

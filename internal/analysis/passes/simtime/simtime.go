@@ -1,0 +1,139 @@
+// Package simtime separates the two clocks in the codebase. The
+// simulator has exactly one time base — sim.Engine's virtual
+// nanosecond clock, advanced by the event queue — and wall-clock time
+// may never leak into it:
+//
+//   - the simulation packages (core, sim, machine, network,
+//     directory, npb) must not import "time" at all; latencies and
+//     delays there are sim.Time values
+//   - anywhere in the module, a function with access to a *sim.Engine
+//     (an Engine parameter, or a method on a struct holding one) is
+//     an event-handler context: it must not call time.Now, time.Since
+//     or friends — durations measured there must come from
+//     Engine.Now deltas
+//
+// Drivers without an engine in scope (cmd/cenju4-bench timing a whole
+// run of the real process) may still use the wall clock.
+package simtime
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+
+	"cenju4/internal/analysis"
+	"cenju4/internal/analysis/lintutil"
+)
+
+// Analyzer is the simtime pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "simtime",
+	Doc: "event-handler contexts must use sim.Engine virtual time, " +
+		"never the wall clock",
+	Run: run,
+}
+
+var wallClock = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true, "After": true,
+}
+
+func run(pass *analysis.Pass) error {
+	simPkg := lintutil.SimPackages[pass.Pkg.Path()]
+	for _, f := range pass.Files {
+		if simPkg {
+			for _, imp := range f.Imports {
+				if path, err := strconv.Unquote(imp.Path.Value); err == nil && path == "time" {
+					pass.Reportf(imp.Pos(),
+						`simulation package %s must not import "time"; model time is sim.Time on the engine's virtual clock`,
+						pass.Pkg.Path())
+				}
+			}
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !hasEngineAccess(pass, fd) {
+				continue
+			}
+			checkBody(pass, fd)
+		}
+	}
+	return nil
+}
+
+// checkBody flags wall-clock calls inside an event-handler context.
+// Function literals nested in the handler (scheduled callbacks) are
+// included: they run from the event queue.
+func checkBody(pass *analysis.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name, ok := lintutil.PkgFunc(pass.TypesInfo, call, "time"); ok && wallClock[name] {
+			pass.Reportf(call.Pos(),
+				"%s has access to a *sim.Engine but calls time.%s; event handlers must measure with the engine's virtual clock (Engine.Now deltas)",
+				fd.Name.Name, name)
+		}
+		return true
+	})
+}
+
+// hasEngineAccess reports whether fd can see a *sim.Engine: through a
+// parameter, through its receiver being (a pointer to) Engine itself,
+// or through a direct field of its receiver's struct type.
+func hasEngineAccess(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	if fd.Recv != nil {
+		for _, field := range fd.Recv.List {
+			if t, ok := pass.TypesInfo.Types[field.Type]; ok && typeReachesEngine(t.Type) {
+				return true
+			}
+		}
+	}
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			if t, ok := pass.TypesInfo.Types[field.Type]; ok && isEngine(t.Type) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isEngine matches sim.Engine and *sim.Engine.
+func isEngine(t types.Type) bool {
+	if p, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Engine" && obj.Pkg() != nil &&
+		obj.Pkg().Path() == "cenju4/internal/sim"
+}
+
+// typeReachesEngine matches Engine itself and structs with a direct
+// Engine-typed field (the Controller/Machine pattern: the engine rides
+// in the struct, so every method is an event-handler context).
+func typeReachesEngine(t types.Type) bool {
+	if isEngine(t) {
+		return true
+	}
+	if p, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if isEngine(st.Field(i).Type()) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,20 @@
+package simtime_test
+
+import (
+	"testing"
+
+	"cenju4/internal/analysis/analysistest"
+	"cenju4/internal/analysis/passes/simtime"
+)
+
+// TestHandlers checks the event-handler wall-clock rule in an
+// ordinary package.
+func TestHandlers(t *testing.T) {
+	analysistest.Run(t, "testdata/handlers", simtime.Analyzer)
+}
+
+// TestSimPackageImportBan checks the "time" import ban inside the
+// simulation package set.
+func TestSimPackageImportBan(t *testing.T) {
+	analysistest.Run(t, "testdata/simpkg", simtime.Analyzer)
+}

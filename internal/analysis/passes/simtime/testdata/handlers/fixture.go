@@ -1,0 +1,47 @@
+// Fixture for the simtime analyzer's event-handler rule: any function
+// that can see a *sim.Engine is an event-handler context and must not
+// read the wall clock. This package keeps the default fixture path —
+// outside the simulation set — so the "time" import itself is legal.
+package fixture
+
+import (
+	"time"
+
+	"cenju4/internal/sim"
+)
+
+// handler takes the engine directly.
+func handler(eng *sim.Engine) sim.Time {
+	_ = time.Now() // want `handler has access to a \*sim\.Engine but calls time\.Now`
+	return eng.Now()
+}
+
+// node mirrors the Controller/Machine pattern: the engine rides in the
+// struct, making every method an event-handler context.
+type node struct {
+	eng *sim.Engine
+}
+
+func (n *node) step() {
+	time.Sleep(time.Millisecond) // want `step has access to a \*sim\.Engine but calls time\.Sleep`
+}
+
+// scheduled flags wall-clock reads inside callbacks bound for the
+// event queue too.
+func scheduled(eng *sim.Engine) {
+	eng.After(5, func() {
+		_ = time.Since(time.Time{}) // want `scheduled has access to a \*sim\.Engine but calls time\.Since`
+	})
+}
+
+// virtual is the accepted pattern: measure with engine deltas.
+func virtual(eng *sim.Engine, started sim.Time) sim.Time {
+	return eng.Now() - started
+}
+
+// wallClockDriver has no engine in scope: a process-level driver may
+// time the real world.
+func wallClockDriver() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}

@@ -1,0 +1,13 @@
+// Fixture for the simtime analyzer's import ban: a package posing as
+// one of the simulation packages must not import "time" at all.
+//
+//lintfixture:path cenju4/internal/network
+package fixture
+
+import (
+	"time" // want `simulation package cenju4/internal/network must not import "time"`
+)
+
+// Delay is wall-clock typed state that has no business in a
+// simulation package.
+var Delay = 5 * time.Millisecond

@@ -151,9 +151,11 @@ func (c *Cache) Access(addr topology.Addr, store bool) (LineState, bool) {
 		l.state = Modified // silent upgrade: sole clean copy
 		c.stats.Hits++
 		return Exclusive, true
-	default: // Shared: requires an ownership transaction
+	case Shared: // requires an ownership transaction
 		c.stats.Misses++
 		return Shared, false
+	default:
+		panic(fmt.Sprintf("cache: resident line in state %v", l.state))
 	}
 }
 

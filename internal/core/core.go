@@ -32,6 +32,7 @@ package core
 
 import (
 	"fmt"
+	"maps"
 
 	"cenju4/internal/cache"
 	"cenju4/internal/directory"
@@ -234,10 +235,7 @@ func (c *Controller) Stats() Stats {
 	s.SlaveOverflowHW = c.slave.overflow.HighWater()
 	s.HomeOverflowHW = c.home.overflow.HighWater()
 	// Copy the map so callers cannot race with updates.
-	s.Requests = make(map[msg.Kind]uint64, len(c.stats.Requests))
-	for k, v := range c.stats.Requests {
-		s.Requests[k] = v
-	}
+	s.Requests = maps.Clone(c.stats.Requests)
 	return s
 }
 

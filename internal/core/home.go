@@ -216,8 +216,9 @@ func (h *homeModule) processStable(kind msg.Kind, master topology.NodeID, addr t
 			h.forward(slave, msg.FwdReadExclusive, addr, master, sofar)
 			return 0
 		}
+	default:
+		panic(fmt.Sprintf("core: processStable(%v)", kind))
 	}
-	panic(fmt.Sprintf("core: processStable(%v)", kind))
 }
 
 // dirtyOwner returns the single node registered for a dirty block.
@@ -375,11 +376,15 @@ func (h *homeModule) processInvAck(m *msg.Message, sofar sim.Time) sim.Time {
 		e.SetState(directory.Dirty)
 		e.MapSetOnly(t.master)
 		h.reply(t.master, &msg.Message{Kind: msg.HomeAck, Addr: m.Addr, Master: t.master}, sofar+cost)
-	default: // read-exclusive: send the block
+	case msg.ReadExclusive:
+		// Send the block (a pending ownership that raced with a steal
+		// was already downgraded to read-exclusive when queued).
 		e.SetState(directory.Dirty)
 		e.MapSetOnly(t.master)
 		cost += p.MemAccess
 		h.reply(t.master, &msg.Message{Kind: msg.HomeData, Addr: m.Addr, Master: t.master, HasData: true, Excl: true, Val: h.memVal(m.Addr)}, sofar+cost)
+	default:
+		panic(fmt.Sprintf("core: invalidation transaction completed for %v", t.kind))
 	}
 	delete(h.pending, m.Addr)
 	cost += h.completeBlock(e, sofar+cost)

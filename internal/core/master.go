@@ -108,6 +108,9 @@ func (m *masterModule) issue(addr topology.Addr, store bool, done func()) {
 			}
 			done()
 			return
+		case cache.Shared, cache.Invalid:
+			// Ownership upgrade or plain miss: a transaction is issued
+			// below.
 		}
 	}
 	kind := msg.ReadShared

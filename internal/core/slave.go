@@ -71,9 +71,10 @@ func (s *slaveModule) handle(m *msg.Message) {
 		case cache.Exclusive:
 			c.cache.SetState(m.Addr, cache.Shared)
 			reply.Kind = msg.SlaveAck
-		default:
-			// The copy is gone (written back or invalidated in flight):
-			// plain acknowledgement; memory already holds valid data.
+		case cache.Shared, cache.Invalid:
+			// The dirty copy is gone (written back, or demoted in
+			// flight): plain acknowledgement; memory already holds
+			// valid data.
 			reply.Kind = msg.SlaveAck
 		}
 	case msg.FwdReadExclusive:
@@ -85,10 +86,12 @@ func (s *slaveModule) handle(m *msg.Message) {
 			if c.vals != nil {
 				reply.Val = c.vals.CacheValue(c.cfg.Node, m.Addr)
 			}
-		default:
-			if st != cache.Invalid {
-				c.cache.SetState(m.Addr, cache.Invalid)
-			}
+		case cache.Exclusive, cache.Shared:
+			// Clean copy: drop it; memory already holds valid data.
+			c.cache.SetState(m.Addr, cache.Invalid)
+			reply.Kind = msg.SlaveAck
+		case cache.Invalid:
+			// The copy vanished in flight (writeback or invalidation).
 			reply.Kind = msg.SlaveAck
 		}
 	case msg.Invalidate:

@@ -152,9 +152,13 @@ type AblationImprecisionResult struct {
 }
 
 // AblationImprecision runs stores against blocks with k true sharers.
-func AblationImprecision(nodes int) AblationImprecisionResult {
+// The sharer placement is drawn from a *rand.Rand seeded with seed, so
+// a run is reproduced by its arguments alone (the determinism analyzer
+// forbids the global math/rand source). cmd/cenju4-bench plumbs its
+// -ablation-seed flag here; 7 is the historical default.
+func AblationImprecision(nodes int, seed int64) AblationImprecisionResult {
 	res := AblationImprecisionResult{Nodes: nodes}
-	rng := rand.New(rand.NewSource(7))
+	rng := rand.New(rand.NewSource(seed))
 	for _, clustered := range []bool{false, true} {
 		for _, k := range []int{4, 8, 16, 32, 64} {
 			if k >= nodes {

@@ -55,7 +55,7 @@ func TestAblationSinglecastThreshold(t *testing.T) {
 }
 
 func TestAblationImprecision(t *testing.T) {
-	r := AblationImprecision(1024)
+	r := AblationImprecision(1024, 7)
 	if len(r.Points) != 10 {
 		t.Fatalf("%d points", len(r.Points))
 	}

@@ -60,8 +60,8 @@ func Figure4(cfg Config) Figure4Result {
 		PanelA: make(map[string][]directory.PrecisionPoint),
 		PanelB: make(map[string][]directory.PrecisionPoint),
 	}
-	a := directory.PrecisionConfig{TotalNodes: 1024, Trials: cfg.Trials, Seed: 1}
-	b := directory.PrecisionConfig{TotalNodes: 1024, GroupSize: 128, Trials: cfg.Trials, Seed: 2}
+	a := directory.PrecisionConfig{TotalNodes: 1024, Trials: cfg.Trials, Seed: cfg.Seed}
+	b := directory.PrecisionConfig{TotalNodes: 1024, GroupSize: 128, Trials: cfg.Trials, Seed: cfg.Seed + 1}
 	for _, s := range directory.Schemes() {
 		res.PanelA[s.Name] = directory.EvaluatePrecision(s, a, directory.DefaultSharerCounts(1024))
 		res.PanelB[s.Name] = directory.EvaluatePrecision(s, b, directory.DefaultSharerCounts(128))

@@ -300,6 +300,8 @@ func CountOps(ops [][]cpu.Op) (loads, stores int) {
 				loads++
 			case cpu.OpStore:
 				stores++
+			case cpu.OpCompute, cpu.OpBarrier, cpu.OpSend, cpu.OpRecv, cpu.OpAllReduce:
+				// No coherence traffic to tally.
 			}
 		}
 	}
@@ -323,7 +325,9 @@ func FormatOps(ops [][]cpu.Op) string {
 				fmt.Fprintf(&b, " St %v", op.Addr)
 			case cpu.OpCompute:
 				fmt.Fprintf(&b, " C%d", op.N)
-			default:
+			case cpu.OpBarrier, cpu.OpSend, cpu.OpRecv, cpu.OpAllReduce:
+				// Message-passing ops never appear in coherence fuzz
+				// streams; render them generically if they ever do.
 				fmt.Fprintf(&b, " op%d", op.Kind)
 			}
 		}

@@ -6,6 +6,7 @@ package machine
 
 import (
 	"fmt"
+	"slices"
 
 	"cenju4/internal/cache"
 	"cenju4/internal/core"
@@ -180,13 +181,19 @@ func (m *Machine) AutoValidate() func() error {
 func (m *Machine) LatencyHistograms() map[msg.Kind]*stats.Histogram {
 	merged := make(map[msg.Kind]*stats.Histogram)
 	for _, c := range m.ctrls {
-		for kind, h := range c.Latencies() {
+		lats := c.Latencies()
+		kinds := make([]msg.Kind, 0, len(lats))
+		for kind := range lats { //cenju4:order-insensitive — keys are sorted below
+			kinds = append(kinds, kind)
+		}
+		slices.Sort(kinds)
+		for _, kind := range kinds {
 			dst := merged[kind]
 			if dst == nil {
 				dst = &stats.Histogram{}
 				merged[kind] = dst
 			}
-			dst.Merge(h)
+			dst.Merge(lats[kind])
 		}
 	}
 	return merged

@@ -76,6 +76,8 @@ func (m *Machine) validateBlock(addr topology.Addr, e *directory.Entry) error {
 			if !updateMode && !e.MapContains(topology.NodeID(n)) {
 				return fmt.Errorf("block %v: node %d holds S but is absent from the node map %v", addr, n, *e)
 			}
+		case cache.Invalid:
+			// No copy at this node: nothing to cross-check.
 		}
 	}
 	if owners > 1 {

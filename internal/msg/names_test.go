@@ -1,0 +1,32 @@
+package msg
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestKindNamesCoverEveryKind pins the name table to the const block:
+// every Kind up to the last declared constant must render a real name,
+// not the "Kind(n)" fallback, and the table must not carry stale
+// entries past the last constant. The enumnames analyzer enforces the
+// same invariant statically; this test keeps it honest at runtime.
+func TestKindNamesCoverEveryKind(t *testing.T) {
+	const last = UpdateAck
+	if got, want := len(kindNames), int(last)+1; got != want {
+		t.Fatalf("kindNames has %d entries, const block declares %d kinds", got, want)
+	}
+	seen := make(map[string]Kind, int(last)+1)
+	for k := KindInvalid; k <= last; k++ {
+		name := k.String()
+		if name == "" || strings.HasPrefix(name, "Kind(") {
+			t.Errorf("Kind %d has no name (got %q)", uint8(k), name)
+		}
+		if prev, dup := seen[name]; dup {
+			t.Errorf("Kind %d and Kind %d share the name %q", uint8(prev), uint8(k), name)
+		}
+		seen[name] = k
+	}
+	if got := (last + 1).String(); !strings.HasPrefix(got, "Kind(") {
+		t.Errorf("value past the last constant should fall back to Kind(n), got %q", got)
+	}
+}

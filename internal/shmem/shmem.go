@@ -168,13 +168,15 @@ func (r *Region) Addr(i int) topology.Addr {
 		home := i / r.chunk
 		local := i - home*r.chunk
 		return topology.SharedAddr(topology.NodeID(home), r.bases[home]+uint64(local)*ElemSize)
-	default: // MapCyclic
+	case MapCyclic:
 		byteOff := uint64(i) * ElemSize
 		blk := byteOff / topology.BlockSize
 		home := blk % uint64(r.nodes)
 		localBlk := blk / uint64(r.nodes)
 		return topology.SharedAddr(topology.NodeID(home),
 			r.bases[home]+localBlk*topology.BlockSize+byteOff%topology.BlockSize)
+	default:
+		panic(fmt.Sprintf("shmem: %s has unknown mapping %d", r.name, r.mapping))
 	}
 }
 
