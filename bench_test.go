@@ -168,7 +168,7 @@ func BenchmarkAblationNack(b *testing.B) {
 func BenchmarkAblationSinglecastThreshold(b *testing.B) {
 	var points float64
 	for i := 0; i < b.N; i++ {
-		points = float64(len(experiments.AblationSinglecastThreshold(64).Points))
+		points = float64(len(experiments.AblationSinglecastThreshold(benchCfg(), 64).Points))
 	}
 	b.ReportMetric(points, "points")
 }
@@ -179,7 +179,7 @@ func BenchmarkAblationImprecision(b *testing.B) {
 	skipHeavy(b)
 	var worst float64
 	for i := 0; i < b.N; i++ {
-		r := experiments.AblationImprecision(1024, 7)
+		r := experiments.AblationImprecision(benchCfg(), 1024, 7)
 		for _, p := range r.Points {
 			if o := float64(p.Targets) / float64(p.Sharers); o > worst {
 				worst = o

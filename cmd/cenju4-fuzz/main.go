@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"strings"
 
 	"cenju4/internal/core"
@@ -41,6 +42,7 @@ func main() {
 	shrinkRuns := flag.Int("shrinkruns", 300, "max re-executions while shrinking one failure")
 	replay := flag.Uint64("replay", 0, "re-run the one case with this per-case seed, protocol trace attached")
 	quiet := flag.Bool("q", false, "suppress per-case progress lines")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "concurrent fuzz cases (1 = sequential; report and progress output are byte-identical at every setting)")
 	flag.Parse()
 
 	opts := fuzz.Options{
@@ -50,6 +52,7 @@ func main() {
 		Rounds:        *rounds,
 		Shrink:        !*noShrink,
 		MaxShrinkRuns: *shrinkRuns,
+		Parallel:      *parallel,
 	}
 	if !*quiet {
 		opts.Progress = os.Stderr

@@ -16,6 +16,16 @@
 //     which is shared, lockable and seeded per-process; randomness
 //     must flow through an explicitly seeded *rand.Rand so a seed in
 //     a flag or config reproduces the stream
+//
+// A fourth rule applies in every package, not just the simulation
+// scope: a worker closure handed to runner.Map or runner.MapEach must
+// not write variables captured from the enclosing scope. Workers run
+// on concurrent goroutines in scheduler order, so a captured write is
+// at best a data race and at worst a silent source of
+// completion-order-dependent results; workers communicate through
+// their return value (merged in run-index order), and ordered side
+// effects belong in MapEach's each callback, which the runner
+// serializes in ascending index order.
 package determinism
 
 import (
@@ -33,9 +43,14 @@ const Directive = "cenju4:order-insensitive"
 var Analyzer = &analysis.Analyzer{
 	Name: "determinism",
 	Doc: "simulation packages must not range over maps, read the wall " +
-		"clock, or use the global math/rand source",
+		"clock, or use the global math/rand source; runner worker " +
+		"closures must not write captured variables",
 	Run: run,
 }
+
+// runnerPath is the worker-pool package whose Map/MapEach worker
+// closures must be free of captured writes.
+const runnerPath = "cenju4/internal/runner"
 
 // wallClock lists the time functions that read or depend on the host
 // clock. Pure value constructors (time.Duration arithmetic) are not
@@ -54,6 +69,12 @@ var seededRandOK = map[string]bool{
 }
 
 func run(pass *analysis.Pass) error {
+	// The runner worker-closure rule guards every caller of the worker
+	// pool (fuzz, experiments, ...), so it runs before the simulation
+	// scope gate.
+	for _, f := range pass.Files {
+		checkRunnerClosures(pass, f)
+	}
 	if !lintutil.SimPackages[pass.Pkg.Path()] {
 		return nil
 	}
@@ -86,6 +107,88 @@ func checkRange(pass *analysis.Pass, rs *ast.RangeStmt, suppressed map[int]bool)
 	pass.Reportf(rs.For,
 		"range over map %s in a simulation package: iteration order is randomized and can reach event order; iterate sorted keys or mark the loop %q",
 		types.ExprString(rs.X), Directive)
+}
+
+// checkRunnerClosures finds function literals passed as the worker fn
+// of runner.Map / runner.MapEach (the third argument) and flags writes
+// to variables declared outside the literal. The each callback of
+// MapEach is exempt: the runner invokes it serially, in ascending run
+// order, under its own lock, precisely so drivers can accumulate
+// ordered output there.
+func checkRunnerClosures(pass *analysis.Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name, ok := lintutil.PkgFunc(pass.TypesInfo, call, runnerPath)
+		if !ok || (name != "Map" && name != "MapEach") || len(call.Args) < 3 {
+			return true
+		}
+		if fl, ok := call.Args[2].(*ast.FuncLit); ok {
+			checkCapturedWrites(pass, name, fl)
+		}
+		return true
+	})
+}
+
+func checkCapturedWrites(pass *analysis.Pass, fn string, fl *ast.FuncLit) {
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				checkCapturedWrite(pass, fn, fl, lhs)
+			}
+		case *ast.IncDecStmt:
+			checkCapturedWrite(pass, fn, fl, n.X)
+		}
+		return true
+	})
+}
+
+// checkCapturedWrite reports lhs if its root identifier resolves to a
+// variable declared outside the worker literal. Unwrapping to the root
+// catches writes through captured slices, maps, pointers and struct
+// fields (results[i] = v, *out = v, s.n++), while variables the worker
+// declares itself — including writes from closures nested inside it,
+// like engine callbacks — stay allowed.
+func checkCapturedWrite(pass *analysis.Pass, fn string, fl *ast.FuncLit, lhs ast.Expr) {
+	id := rootIdent(lhs)
+	if id == nil || id.Name == "_" {
+		return
+	}
+	obj := pass.TypesInfo.ObjectOf(id)
+	if obj == nil {
+		return
+	}
+	if _, isVar := obj.(*types.Var); !isVar {
+		return
+	}
+	if obj.Pos() >= fl.Pos() && obj.Pos() <= fl.End() {
+		return // declared inside the worker closure
+	}
+	pass.Reportf(lhs.Pos(),
+		"worker closure passed to runner.%s writes captured variable %s: workers run on concurrent goroutines and must communicate only through their return value (ordered side effects go in MapEach's each callback)",
+		fn, id.Name)
+}
+
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
 }
 
 func checkCall(pass *analysis.Pass, call *ast.CallExpr) {

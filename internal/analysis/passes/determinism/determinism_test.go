@@ -17,3 +17,11 @@ func TestInSimulationScope(t *testing.T) {
 func TestOutOfScope(t *testing.T) {
 	analysistest.Run(t, "testdata/outofscope", determinism.Analyzer)
 }
+
+// TestRunnerClosures checks the worker-closure rule: captured writes
+// inside runner.Map/MapEach worker fns are flagged in any package,
+// while worker-local state, nested callbacks and the serialized each
+// callback stay clean.
+func TestRunnerClosures(t *testing.T) {
+	analysistest.Run(t, "testdata/runnerclosure", determinism.Analyzer)
+}

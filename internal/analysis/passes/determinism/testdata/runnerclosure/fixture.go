@@ -1,0 +1,70 @@
+// Fixture for the runner worker-closure rule. Deliberately NOT posing
+// as a simulation package: the rule guards every caller of the worker
+// pool (fuzz, experiments, future drivers), so it must fire outside
+// the lintutil.SimPackages scope.
+package fixture
+
+import "cenju4/internal/runner"
+
+func capturedWrites(n int) int {
+	total := 0
+	sums := make([]int, n)
+	runner.Map(runner.Options{}, n, func(i int) int {
+		total += i  // want `worker closure passed to runner.Map writes captured variable total`
+		sums[i] = i // want `worker closure passed to runner.Map writes captured variable sums`
+		return i * i
+	})
+	return total
+}
+
+var pkgCounter int
+
+func packageLevelWrite(n int) {
+	runner.Map(runner.Options{}, n, func(i int) int {
+		pkgCounter++ // want `worker closure passed to runner.Map writes captured variable pkgCounter`
+		return i
+	})
+}
+
+type tally struct{ hits int }
+
+func capturedPointerWrites(n int, out *[]int, t *tally) {
+	runner.MapEach(runner.Options{}, n, func(i int) int {
+		(*out)[i] = i // want `worker closure passed to runner.MapEach writes captured variable out`
+		t.hits++      // want `worker closure passed to runner.MapEach writes captured variable t`
+		return 0
+	}, nil)
+}
+
+func cleanWorker(n int) []int {
+	rs, _ := runner.Map(runner.Options{}, n, func(i int) int {
+		local := 0
+		for j := 0; j <= i; j++ {
+			local += j
+		}
+		return local
+	})
+	return rs
+}
+
+// Writes from closures nested inside the worker to worker-declared
+// state are fine — the pattern every engine-callback experiment uses.
+func nestedCallbackWrite(n int) []int {
+	rs, _ := runner.Map(runner.Options{}, n, func(i int) int {
+		end := 0
+		cb := func() { end = i * 2 }
+		cb()
+		return end
+	})
+	return rs
+}
+
+// The each callback may accumulate captured state: the runner invokes
+// it serially in ascending index order under its lock.
+func eachAccumulates(n int) int {
+	total := 0
+	runner.MapEach(runner.Options{}, n, func(i int) int { return i }, func(i, r int) {
+		total += r
+	})
+	return total
+}

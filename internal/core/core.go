@@ -102,6 +102,11 @@ type Config struct {
 	// Faults injects deliberate protocol bugs for the fuzzing
 	// harness's self-tests (nil in production configurations).
 	Faults *Faults
+	// Pool, when non-nil, recycles Message records. It must be the same
+	// pool the fabric uses (the network releases delivered messages back
+	// to it); machine.Machine wires one pool through both. Nil keeps
+	// plain allocation.
+	Pool *msg.Pool
 }
 
 func (c Config) withDefaults() Config {
@@ -255,11 +260,20 @@ func (c *Controller) Deliver(m *msg.Message) {
 	}
 }
 
+// newMsg returns a pooled (or, without a pool, freshly allocated) copy
+// of proto. Outbound messages are built through it so records recycled
+// by the network's release points get reused here.
+func (c *Controller) newMsg(proto msg.Message) *msg.Message {
+	return c.cfg.Pool.New(proto)
+}
+
 // send routes a message: destinations on this node are delivered
 // directly (module-to-module transfers inside the controller chip do
 // not use the network); everything else goes through the fabric.
 // Gatherable replies always use the network so in-network combining
-// stays uniform.
+// stays uniform. On the local path the controller is the end of the
+// message's life and releases it; on the fabric path the network owns
+// the message from Send on.
 func (c *Controller) send(m *msg.Message, delay sim.Time) {
 	local := !m.Dest.IsPattern && len(m.Dest.Pointers) == 1 &&
 		m.Dest.Pointers[0] == c.cfg.Node && m.Gather == nil
@@ -267,6 +281,7 @@ func (c *Controller) send(m *msg.Message, delay sim.Time) {
 		if local {
 			c.emit(TraceLocal, m)
 			c.Deliver(m)
+			c.cfg.Pool.Put(m)
 		} else {
 			c.emit(TraceSend, m)
 			c.fab.Send(m)

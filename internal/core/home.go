@@ -92,7 +92,7 @@ func (h *homeModule) processRequest(kind msg.Kind, master topology.NodeID, addr 
 
 	if e.State().Pending() {
 		if c.cfg.Mode == ModeNack {
-			h.reply(master, &msg.Message{Kind: msg.Nack, OrigKind: kind, Addr: addr, Master: master}, sofar+cost)
+			h.reply(master, c.newMsg(msg.Message{Kind: msg.Nack, OrigKind: kind, Addr: addr, Master: master}), sofar+cost)
 			return cost
 		}
 		// Queuing protocol: an ownership request against a pending block
@@ -133,7 +133,7 @@ func (h *homeModule) processStable(kind msg.Kind, master topology.NodeID, addr t
 			c.vals.memWrite(c.cfg.Node, addr, val)
 			c.vals.updateOrdered(master, addr, val, c.eng.Now())
 		}
-		um := &msg.Message{
+		um := msg.Message{
 			Kind:    msg.UpdateData,
 			Src:     c.cfg.Node,
 			Dest:    c.allNodes,
@@ -143,16 +143,17 @@ func (h *homeModule) processStable(kind msg.Kind, master topology.NodeID, addr t
 			Val:     val,
 		}
 		if c.fab.MulticastEnabled() {
-			um.Gather = c.fab.AllocGather(c.allNodes, c.cfg.Node)
+			pm := c.newMsg(um)
+			pm.Gather = c.fab.AllocGather(c.allNodes, c.cfg.Node)
 			t.acksLeft = 1
-			c.send(um, sofar+p.MemAccess)
+			c.send(pm, sofar+p.MemAccess)
 		} else {
 			targets := c.allNodes.Members(nil, c.cfg.Nodes)
 			t.acksLeft = len(targets)
 			for _, n := range targets {
-				cp := *um
+				cp := c.newMsg(um)
 				cp.Dest = directory.Single(n)
-				c.send(&cp, sofar+p.MemAccess)
+				c.send(cp, sofar+p.MemAccess)
 			}
 		}
 		return p.MemAccess
@@ -167,14 +168,14 @@ func (h *homeModule) processStable(kind msg.Kind, master topology.NodeID, addr t
 			// invariant).
 			e.SetState(directory.Dirty)
 			e.MapSetOnly(master)
-			h.reply(master, &msg.Message{Kind: msg.HomeData, Addr: addr, Master: master, HasData: true, Excl: true, Val: h.memVal(addr)}, sofar+p.MemAccess)
+			h.reply(master, c.newMsg(msg.Message{Kind: msg.HomeData, Addr: addr, Master: master, HasData: true, Excl: true, Val: h.memVal(addr)}), sofar+p.MemAccess)
 			return p.MemAccess
 		case e.State() == directory.Clean ||
 			(c.cfg.Faults != nil && c.cfg.Faults.StaleDirtyRead):
 			// Injected fault: a dirty block is served from (stale) memory
 			// without forwarding to the owner.
 			e.MapAdd(master)
-			h.reply(master, &msg.Message{Kind: msg.HomeData, Addr: addr, Master: master, HasData: true, Val: h.memVal(addr)}, sofar+p.MemAccess)
+			h.reply(master, c.newMsg(msg.Message{Kind: msg.HomeData, Addr: addr, Master: master, HasData: true, Val: h.memVal(addr)}), sofar+p.MemAccess)
 			return p.MemAccess
 		default: // Dirty at another node: forward to the slave.
 			slave := h.dirtyOwner(e)
@@ -191,10 +192,10 @@ func (h *homeModule) processStable(kind msg.Kind, master topology.NodeID, addr t
 			e.MapSetOnly(master)
 			if kind == msg.Ownership {
 				// Sole sharer upgrading: no data transfer needed.
-				h.reply(master, &msg.Message{Kind: msg.HomeAck, Addr: addr, Master: master}, sofar)
+				h.reply(master, c.newMsg(msg.Message{Kind: msg.HomeAck, Addr: addr, Master: master}), sofar)
 				return 0
 			}
-			h.reply(master, &msg.Message{Kind: msg.HomeData, Addr: addr, Master: master, HasData: true, Excl: true, Val: h.memVal(addr)}, sofar+p.MemAccess)
+			h.reply(master, c.newMsg(msg.Message{Kind: msg.HomeData, Addr: addr, Master: master, HasData: true, Excl: true, Val: h.memVal(addr)}), sofar+p.MemAccess)
 			return p.MemAccess
 		case e.State() == directory.Clean:
 			// Other nodes registered: invalidate them all.
@@ -234,13 +235,13 @@ func (h *homeModule) dirtyOwner(e *directory.Entry) topology.NodeID {
 func (h *homeModule) forward(slave topology.NodeID, kind msg.Kind, addr topology.Addr, master topology.NodeID, delay sim.Time) {
 	c := h.c
 	c.stats.HomeForwards++
-	c.send(&msg.Message{
+	c.send(c.newMsg(msg.Message{
 		Kind:   kind,
 		Src:    c.cfg.Node,
 		Dest:   directory.Single(slave),
 		Addr:   addr,
 		Master: master,
-	}, delay)
+	}), delay)
 }
 
 // invalidate sends invalidation requests to every node the map
@@ -257,25 +258,25 @@ func (h *homeModule) invalidate(spec directory.Dest, addr topology.Addr, master 
 	c.stats.Invalidations++
 	c.stats.InvTargets += uint64(len(targets))
 	h.overflow.Push(addr) // outbound buffer: one invalidation + node map
-	base := &msg.Message{
+	base := msg.Message{
 		Kind:   msg.Invalidate,
 		Src:    c.cfg.Node,
 		Addr:   addr,
 		Master: master,
 	}
 	if c.fab.MulticastEnabled() && len(targets) > c.cfg.SinglecastThreshold {
-		m := *base
+		m := c.newMsg(base)
 		m.Dest = spec
 		m.Gather = c.fab.AllocGather(spec, c.cfg.Node)
 		t.acksLeft = 1 // one gathered reply
-		c.send(&m, delay)
+		c.send(m, delay)
 		return
 	}
 	t.acksLeft = len(targets)
 	for _, n := range targets {
-		m := *base
+		m := c.newMsg(base)
 		m.Dest = directory.Single(n)
-		c.send(&m, delay)
+		c.send(m, delay)
 	}
 }
 
@@ -333,11 +334,11 @@ func (h *homeModule) processSlaveReply(m *msg.Message, sofar sim.Time) sim.Time 
 	case directory.PendingShared:
 		e.SetState(directory.Clean)
 		e.MapAdd(t.master)
-		h.reply(t.master, &msg.Message{Kind: msg.HomeData, Addr: m.Addr, Master: t.master, HasData: true, Val: h.memVal(m.Addr)}, sofar+cost)
+		h.reply(t.master, c.newMsg(msg.Message{Kind: msg.HomeData, Addr: m.Addr, Master: t.master, HasData: true, Val: h.memVal(m.Addr)}), sofar+cost)
 	case directory.PendingExclusive:
 		e.SetState(directory.Dirty)
 		e.MapSetOnly(t.master)
-		h.reply(t.master, &msg.Message{Kind: msg.HomeData, Addr: m.Addr, Master: t.master, HasData: true, Excl: true, Val: h.memVal(m.Addr)}, sofar+cost)
+		h.reply(t.master, c.newMsg(msg.Message{Kind: msg.HomeData, Addr: m.Addr, Master: t.master, HasData: true, Excl: true, Val: h.memVal(m.Addr)}), sofar+cost)
 	default:
 		panic(fmt.Sprintf("core: slave reply in state %v", e.State()))
 	}
@@ -371,18 +372,18 @@ func (h *homeModule) processInvAck(m *msg.Message, sofar sim.Time) sim.Time {
 		// node map is untouched (the update protocol does not track
 		// sharers — every node holds the data).
 		e.SetState(directory.Clean)
-		h.reply(t.master, &msg.Message{Kind: msg.HomeAck, Addr: m.Addr, Master: t.master}, sofar+cost)
+		h.reply(t.master, c.newMsg(msg.Message{Kind: msg.HomeAck, Addr: m.Addr, Master: t.master}), sofar+cost)
 	case msg.Ownership:
 		e.SetState(directory.Dirty)
 		e.MapSetOnly(t.master)
-		h.reply(t.master, &msg.Message{Kind: msg.HomeAck, Addr: m.Addr, Master: t.master}, sofar+cost)
+		h.reply(t.master, c.newMsg(msg.Message{Kind: msg.HomeAck, Addr: m.Addr, Master: t.master}), sofar+cost)
 	case msg.ReadExclusive:
 		// Send the block (a pending ownership that raced with a steal
 		// was already downgraded to read-exclusive when queued).
 		e.SetState(directory.Dirty)
 		e.MapSetOnly(t.master)
 		cost += p.MemAccess
-		h.reply(t.master, &msg.Message{Kind: msg.HomeData, Addr: m.Addr, Master: t.master, HasData: true, Excl: true, Val: h.memVal(m.Addr)}, sofar+cost)
+		h.reply(t.master, c.newMsg(msg.Message{Kind: msg.HomeData, Addr: m.Addr, Master: t.master, HasData: true, Excl: true, Val: h.memVal(m.Addr)}), sofar+cost)
 	default:
 		panic(fmt.Sprintf("core: invalidation transaction completed for %v", t.kind))
 	}

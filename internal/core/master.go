@@ -182,7 +182,7 @@ func (m *masterModule) issueUpdate(addr topology.Addr, store bool, done func()) 
 
 func (m *masterModule) sendRequest(slot *mshr, kind msg.Kind) {
 	c := m.c
-	c.send(&msg.Message{
+	c.send(c.newMsg(msg.Message{
 		Kind:     kind,
 		OrigKind: kind,
 		Src:      c.cfg.Node,
@@ -191,7 +191,7 @@ func (m *masterModule) sendRequest(slot *mshr, kind msg.Kind) {
 		Master:   c.cfg.Node,
 		HasData:  kind == msg.UpdateWrite,
 		Val:      slot.tag, // update write-through: the tagged store value
-	}, c.cfg.Params.ProcOverhead)
+	}), c.cfg.Params.ProcOverhead)
 }
 
 // writeback emits a writeback for an evicted modified block. Writebacks
@@ -203,7 +203,7 @@ func (m *masterModule) writeback(addr topology.Addr) {
 	if c.vals != nil {
 		val = c.vals.CacheValue(c.cfg.Node, addr) // dirty data leaves with the message
 	}
-	c.send(&msg.Message{
+	c.send(c.newMsg(msg.Message{
 		Kind:     msg.WriteBack,
 		OrigKind: msg.WriteBack,
 		Src:      c.cfg.Node,
@@ -212,7 +212,7 @@ func (m *masterModule) writeback(addr topology.Addr) {
 		Master:   c.cfg.Node,
 		HasData:  true,
 		Val:      val,
-	}, 0)
+	}), 0)
 }
 
 // handle consumes a reply from a home.

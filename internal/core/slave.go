@@ -52,12 +52,12 @@ func (s *slaveModule) handle(m *msg.Message) {
 	}
 
 	st := c.cache.State(m.Addr)
-	reply := &msg.Message{
+	reply := c.newMsg(msg.Message{
 		Src:    c.cfg.Node,
 		Dest:   directory.Single(m.Src),
 		Addr:   m.Addr,
 		Master: m.Master,
-	}
+	})
 	switch m.Kind {
 	case msg.FwdReadShared:
 		switch st {

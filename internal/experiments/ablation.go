@@ -7,6 +7,7 @@ import (
 
 	"cenju4/internal/core"
 	"cenju4/internal/machine"
+	"cenju4/internal/runner"
 	"cenju4/internal/sim"
 	"cenju4/internal/topology"
 )
@@ -96,27 +97,37 @@ type AblationThresholdResult struct {
 }
 
 // AblationSinglecastThreshold measures store latency across thresholds.
-func AblationSinglecastThreshold(nodes int) AblationThresholdResult {
+// Every (threshold, sharers) cell builds its own machine, so the grid
+// shards across cfg.Parallel workers.
+func AblationSinglecastThreshold(cfg Config, nodes int) AblationThresholdResult {
 	res := AblationThresholdResult{Nodes: nodes}
+	type cell struct{ thr, k int }
+	var cells []cell
 	for _, thr := range []int{1, 2, 4, 8} {
 		for _, k := range []int{2, 3, 5, 9, 17} {
 			if k >= nodes {
 				continue
 			}
-			m := machine.New(machine.Config{Nodes: nodes, Multicast: true, SinglecastThreshold: thr})
-			eng := m.Engine()
-			addr := topology.SharedAddr(0, 0)
-			for i := 1; i <= k; i++ {
-				m.Controller(topology.NodeID(i)).Request(addr, false, func() {})
-				eng.Run()
-			}
-			var end sim.Time
-			start := eng.Now()
-			m.Controller(1).Request(addr, true, func() { end = eng.Now() })
-			eng.Run()
-			res.Points = append(res.Points, ThresholdPoint{thr, k, end - start})
+			cells = append(cells, cell{thr, k})
 		}
 	}
+	points, panics := runner.Map(cfg.parOpts(), len(cells), func(i int) ThresholdPoint {
+		c := cells[i]
+		m := machine.New(machine.Config{Nodes: nodes, Multicast: true, SinglecastThreshold: c.thr})
+		eng := m.Engine()
+		addr := topology.SharedAddr(0, 0)
+		for i := 1; i <= c.k; i++ {
+			m.Controller(topology.NodeID(i)).Request(addr, false, func() {})
+			eng.Run()
+		}
+		var end sim.Time
+		start := eng.Now()
+		m.Controller(1).Request(addr, true, func() { end = eng.Now() })
+		eng.Run()
+		return ThresholdPoint{c.thr, c.k, end - start}
+	})
+	rethrow(panics)
+	res.Points = points
 	return res
 }
 
@@ -152,51 +163,64 @@ type AblationImprecisionResult struct {
 }
 
 // AblationImprecision runs stores against blocks with k true sharers.
-// The sharer placement is drawn from a *rand.Rand seeded with seed, so
-// a run is reproduced by its arguments alone (the determinism analyzer
-// forbids the global math/rand source). cmd/cenju4-bench plumbs its
-// -ablation-seed flag here; 7 is the historical default.
-func AblationImprecision(nodes int, seed int64) AblationImprecisionResult {
+// Each cell draws its sharer placement from its own *rand.Rand, seeded
+// from (seed, cell index) via runner.DeriveSeed, so cells never share
+// a generator and the sweep shards across cfg.Parallel workers while a
+// run stays reproduced by its arguments alone (the determinism
+// analyzer forbids the global math/rand source). cmd/cenju4-bench
+// plumbs its -ablation-seed flag here; 7 is the historical default.
+func AblationImprecision(cfg Config, nodes int, seed int64) AblationImprecisionResult {
 	res := AblationImprecisionResult{Nodes: nodes}
-	rng := rand.New(rand.NewSource(seed))
+	type cell struct {
+		clustered bool
+		k         int
+	}
+	var cells []cell
 	for _, clustered := range []bool{false, true} {
 		for _, k := range []int{4, 8, 16, 32, 64} {
 			if k >= nodes {
 				continue
 			}
-			m := machine.New(machine.Config{Nodes: nodes, Multicast: true})
-			eng := m.Engine()
-			addr := topology.SharedAddr(0, 0)
-			span := nodes - 1
-			if clustered && span > 64 {
-				span = 64
-			}
-			seen := map[int]bool{}
-			var sharers []topology.NodeID
-			for len(sharers) < k {
-				n := 1 + rng.Intn(span)
-				if !seen[n] {
-					seen[n] = true
-					sharers = append(sharers, topology.NodeID(n))
-				}
-			}
-			for _, n := range sharers {
-				m.Controller(n).Request(addr, false, func() {})
-				eng.Run()
-			}
-			var end sim.Time
-			start := eng.Now()
-			m.Controller(sharers[0]).Request(addr, true, func() { end = eng.Now() })
-			eng.Run()
-			st := m.Controller(0).Stats()
-			res.Points = append(res.Points, ImprecisionPoint{
-				Sharers:   k,
-				Clustered: clustered,
-				Targets:   int(st.InvTargets),
-				Latency:   end - start,
-			})
+			cells = append(cells, cell{clustered, k})
 		}
 	}
+	points, panics := runner.Map(cfg.parOpts(), len(cells), func(i int) ImprecisionPoint {
+		c := cells[i]
+		rng := rand.New(rand.NewSource(int64(runner.DeriveSeed(uint64(seed), i))))
+		m := machine.New(machine.Config{Nodes: nodes, Multicast: true})
+		eng := m.Engine()
+		addr := topology.SharedAddr(0, 0)
+		span := nodes - 1
+		if c.clustered && span > 64 {
+			span = 64
+		}
+		seen := map[int]bool{}
+		var sharers []topology.NodeID
+		for len(sharers) < c.k {
+			n := 1 + rng.Intn(span)
+			if !seen[n] {
+				seen[n] = true
+				sharers = append(sharers, topology.NodeID(n))
+			}
+		}
+		for _, n := range sharers {
+			m.Controller(n).Request(addr, false, func() {})
+			eng.Run()
+		}
+		var end sim.Time
+		start := eng.Now()
+		m.Controller(sharers[0]).Request(addr, true, func() { end = eng.Now() })
+		eng.Run()
+		st := m.Controller(0).Stats()
+		return ImprecisionPoint{
+			Sharers:   c.k,
+			Clustered: c.clustered,
+			Targets:   int(st.InvTargets),
+			Latency:   end - start,
+		}
+	})
+	rethrow(panics)
+	res.Points = points
 	return res
 }
 

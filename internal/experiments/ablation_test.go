@@ -27,7 +27,7 @@ func TestAblationNack(t *testing.T) {
 }
 
 func TestAblationSinglecastThreshold(t *testing.T) {
-	r := AblationSinglecastThreshold(64)
+	r := AblationSinglecastThreshold(Config{}, 64)
 	if len(r.Points) == 0 {
 		t.Fatal("no points")
 	}
@@ -55,7 +55,7 @@ func TestAblationSinglecastThreshold(t *testing.T) {
 }
 
 func TestAblationImprecision(t *testing.T) {
-	r := AblationImprecision(1024, 7)
+	r := AblationImprecision(Config{}, 1024, 7)
 	if len(r.Points) != 10 {
 		t.Fatalf("%d points", len(r.Points))
 	}

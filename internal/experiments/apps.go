@@ -7,6 +7,7 @@ import (
 	"cenju4/internal/cpu"
 	"cenju4/internal/machine"
 	"cenju4/internal/npb"
+	"cenju4/internal/runner"
 	"cenju4/internal/sim"
 )
 
@@ -46,10 +47,32 @@ func runOne(cfg Config, app npb.App, v npb.Variant, nodes int, mapped bool) appR
 	return appRun{meta: w.Meta, result: r}
 }
 
-// seqTime measures the sequential baseline for an application.
-func seqTime(cfg Config, app npb.App) sim.Time {
-	return runOne(cfg, app, npb.Seq, 1, false).result.Time
+// appJob names one application run of a sweep: the job lists are pure
+// data so the whole sweep can shard across the worker pool.
+type appJob struct {
+	app    npb.App
+	v      npb.Variant
+	nodes  int
+	mapped bool
 }
+
+// runJobs executes the jobs across cfg.Parallel workers (each run
+// builds its own machine) and returns the results in job order.
+func runJobs(cfg Config, jobs []appJob) []appRun {
+	runs, panics := runner.Map(cfg.parOpts(), len(jobs), func(i int) appRun {
+		j := jobs[i]
+		return runOne(cfg, j.app, j.v, j.nodes, j.mapped)
+	})
+	rethrow(panics)
+	return runs
+}
+
+// appVariants is the program set of Figure 11 (Table 3 uses the dsm
+// tail, appVariants[1:]), in presentation order.
+var appVariants = []struct {
+	v      npb.Variant
+	mapped bool
+}{{npb.MPI, false}, {npb.DSM1, false}, {npb.DSM1, true}, {npb.DSM2, false}, {npb.DSM2, true}}
 
 // efficiency is speedup divided by node count.
 func efficiency(seq sim.Time, r machine.Result, nodes int) float64 {
@@ -86,25 +109,30 @@ func Figure11(cfg Config) Figure11Result {
 		"BT dsm(2)": 0.97, "FT dsm(2)": 0.81, "SP dsm(2)": 0.71,
 		"BT dsm(1)": 0.20, "CG dsm(1)": 0.20, "SP dsm(1)": 0.20, "FT dsm(1)": 0.40,
 	}}
+	var jobs []appJob
 	for _, app := range npb.Apps() {
-		nodes := paperNodes(app)
-		seq := seqTime(cfg, app)
-		add := func(v npb.Variant, mapped bool) {
-			run := runOne(cfg, app, v, nodes, mapped)
+		jobs = append(jobs, appJob{app, npb.Seq, 1, false})
+		for _, c := range appVariants {
+			jobs = append(jobs, appJob{app, c.v, paperNodes(app), c.mapped})
+		}
+	}
+	runs := runJobs(cfg, jobs)
+	for i := 0; i < len(runs); {
+		nodes := paperNodes(jobs[i].app)
+		seq := runs[i].result.Time // the npb.Seq baseline leads each group
+		i++
+		for range appVariants {
+			j, run := jobs[i], runs[i]
+			i++
 			res.Entries = append(res.Entries, Figure11Entry{
-				App:          app,
-				Variant:      v,
-				Mapped:       mapped,
+				App:          j.app,
+				Variant:      j.v,
+				Mapped:       j.mapped,
 				RewriteRatio: run.meta.RewriteRatio,
 				Efficiency:   efficiency(seq, run.result, nodes),
 				Nodes:        nodes,
 			})
 		}
-		add(npb.MPI, false)
-		add(npb.DSM1, false)
-		add(npb.DSM1, true)
-		add(npb.DSM2, false)
-		add(npb.DSM2, true)
 	}
 	return res
 }
@@ -127,10 +155,7 @@ func (r Figure11Result) Render() string {
 	tb := &table{header: []string{"app", "nodes", "mpi", "dsm(1) no-map", "dsm(1)", "dsm(2) no-map", "dsm(2)", "paper dsm(2)"}}
 	for _, app := range npb.Apps() {
 		row := []string{app.String()}
-		for _, c := range []struct {
-			v      npb.Variant
-			mapped bool
-		}{{npb.MPI, false}, {npb.DSM1, false}, {npb.DSM1, true}, {npb.DSM2, false}, {npb.DSM2, true}} {
+		for _, c := range appVariants {
 			if e, ok := r.Find(app, c.v, c.mapped); ok {
 				row = append(row, pct(e.RewriteRatio))
 			}
@@ -139,10 +164,7 @@ func (r Figure11Result) Render() string {
 
 		row = []string{app.String()}
 		var nodes int
-		for _, c := range []struct {
-			v      npb.Variant
-			mapped bool
-		}{{npb.MPI, false}, {npb.DSM1, false}, {npb.DSM1, true}, {npb.DSM2, false}, {npb.DSM2, true}} {
+		for _, c := range appVariants {
 			if e, ok := r.Find(app, c.v, c.mapped); ok {
 				if nodes == 0 {
 					nodes = e.Nodes
@@ -184,21 +206,37 @@ type Figure12Result struct {
 func Figure12(cfg Config) Figure12Result {
 	cfg = cfg.withDefaults()
 	var res Figure12Result
+	var jobs []appJob
 	for _, app := range npb.Apps() {
-		counts := []int{4, 16, 64}
-		if paperNodes(app) == 128 {
-			counts = append(counts, 128)
+		jobs = append(jobs, appJob{app, npb.Seq, 1, false})
+		for _, n := range figure12Counts(app) {
+			jobs = append(jobs, appJob{app, npb.DSM2, n, true})
 		}
-		seq := seqTime(cfg, app)
+	}
+	runs := runJobs(cfg, jobs)
+	i := 0
+	for _, app := range npb.Apps() {
+		seq := runs[i].result.Time
+		i++
 		s := Figure12Series{App: app}
-		for _, n := range counts {
-			run := runOne(cfg, app, npb.DSM2, n, true)
+		for _, n := range figure12Counts(app) {
 			s.Nodes = append(s.Nodes, n)
-			s.Speedups = append(s.Speedups, float64(seq)/float64(run.result.Time))
+			s.Speedups = append(s.Speedups, float64(seq)/float64(runs[i].result.Time))
+			i++
 		}
 		res.Series = append(res.Series, s)
 	}
 	return res
+}
+
+// figure12Counts returns the machine sizes swept for an application:
+// up to its paper size.
+func figure12Counts(app npb.App) []int {
+	counts := []int{4, 16, 64}
+	if paperNodes(app) == 128 {
+		counts = append(counts, 128)
+	}
+	return counts
 }
 
 // Find returns the series for app.
@@ -252,29 +290,30 @@ type Table3Result struct {
 func Table3(cfg Config) Table3Result {
 	cfg = cfg.withDefaults()
 	var res Table3Result
+	var jobs []appJob
 	for _, app := range npb.Apps() {
-		nodes := paperNodes(app)
-		for _, c := range []struct {
-			v      npb.Variant
-			mapped bool
-		}{{npb.DSM1, false}, {npb.DSM1, true}, {npb.DSM2, false}, {npb.DSM2, true}} {
-			run := runOne(cfg, app, c.v, nodes, c.mapped)
-			tot := run.result.Totals()
-			misses := float64(tot.Misses)
-			if misses == 0 {
-				misses = 1
-			}
-			res.Rows = append(res.Rows, Table3Row{
-				App:       app,
-				Variant:   c.v,
-				Mapped:    c.mapped,
-				Nodes:     nodes,
-				MissRatio: tot.MissRatio(),
-				Private:   float64(tot.PrivateMisses) / misses,
-				Local:     float64(tot.LocalMisses) / misses,
-				Remote:    float64(tot.RemoteMisses) / misses,
-			})
+		for _, c := range appVariants[1:] { // the four dsm programs
+			jobs = append(jobs, appJob{app, c.v, paperNodes(app), c.mapped})
 		}
+	}
+	runs := runJobs(cfg, jobs)
+	for i, run := range runs {
+		j := jobs[i]
+		tot := run.result.Totals()
+		misses := float64(tot.Misses)
+		if misses == 0 {
+			misses = 1
+		}
+		res.Rows = append(res.Rows, Table3Row{
+			App:       j.app,
+			Variant:   j.v,
+			Mapped:    j.mapped,
+			Nodes:     j.nodes,
+			MissRatio: tot.MissRatio(),
+			Private:   float64(tot.PrivateMisses) / misses,
+			Local:     float64(tot.LocalMisses) / misses,
+			Remote:    float64(tot.RemoteMisses) / misses,
+		})
 	}
 	return res
 }
@@ -336,34 +375,39 @@ type Table4Result struct {
 func Table4(cfg Config) Table4Result {
 	cfg = cfg.withDefaults()
 	var res Table4Result
+	var jobs []appJob
 	for _, app := range npb.Apps() {
 		for _, nodes := range []int{16, paperNodes(app)} {
-			run := runOne(cfg, app, npb.DSM2, nodes, true)
-			tot := run.result.Totals()
-			acc := float64(tot.MemAccesses)
-			if acc == 0 {
-				acc = 1
-			}
-			misses := float64(tot.Misses)
-			if misses == 0 {
-				misses = 1
-			}
-			res.Rows = append(res.Rows, Table4Row{
-				App:          app,
-				Nodes:        nodes,
-				ExecTime:     run.result.Time,
-				SyncFrac:     float64(tot.SyncTime) / (float64(run.result.Time) * float64(nodes)),
-				Instructions: tot.Instructions,
-				MemAccesses:  tot.MemAccesses,
-				AccPrivate:   float64(tot.PrivateAccesses) / acc,
-				AccLocal:     float64(tot.LocalAccesses) / acc,
-				AccRemote:    float64(tot.RemoteAccesses) / acc,
-				MissRatio:    tot.MissRatio(),
-				MissPrivate:  float64(tot.PrivateMisses) / misses,
-				MissLocal:    float64(tot.LocalMisses) / misses,
-				MissRemote:   float64(tot.RemoteMisses) / misses,
-			})
+			jobs = append(jobs, appJob{app, npb.DSM2, nodes, true})
 		}
+	}
+	runs := runJobs(cfg, jobs)
+	for i, run := range runs {
+		j := jobs[i]
+		tot := run.result.Totals()
+		acc := float64(tot.MemAccesses)
+		if acc == 0 {
+			acc = 1
+		}
+		misses := float64(tot.Misses)
+		if misses == 0 {
+			misses = 1
+		}
+		res.Rows = append(res.Rows, Table4Row{
+			App:          j.app,
+			Nodes:        j.nodes,
+			ExecTime:     run.result.Time,
+			SyncFrac:     float64(tot.SyncTime) / (float64(run.result.Time) * float64(j.nodes)),
+			Instructions: tot.Instructions,
+			MemAccesses:  tot.MemAccesses,
+			AccPrivate:   float64(tot.PrivateAccesses) / acc,
+			AccLocal:     float64(tot.LocalAccesses) / acc,
+			AccRemote:    float64(tot.RemoteAccesses) / acc,
+			MissRatio:    tot.MissRatio(),
+			MissPrivate:  float64(tot.PrivateMisses) / misses,
+			MissLocal:    float64(tot.LocalMisses) / misses,
+			MissRemote:   float64(tot.RemoteMisses) / misses,
+		})
 	}
 	return res
 }

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"strings"
 
+	"cenju4/internal/runner"
 	"cenju4/internal/sim"
 )
 
@@ -33,6 +34,13 @@ type Config struct {
 	// math/rand source — the determinism analyzer forbids it — so a
 	// run is reproduced by its config alone.
 	Seed int64
+	// Parallel is the number of worker goroutines the experiments shard
+	// their independent simulation runs across (0 = GOMAXPROCS, 1 =
+	// sequential). Every run builds its own machine and derives its
+	// inputs from its run index, and results merge in run order, so the
+	// rendered tables are byte-identical at every setting (asserted by
+	// parallel_test.go, under -race in CI).
+	Parallel int
 }
 
 // Quick returns a configuration that runs the full suite in tens of
@@ -58,6 +66,20 @@ func (c Config) withDefaults() Config {
 		c.Seed = Quick().Seed
 	}
 	return c
+}
+
+// parOpts is the runner configuration for an experiment sweep.
+func (c Config) parOpts() runner.Options { return runner.Options{Parallel: c.Parallel} }
+
+// rethrow propagates the first captured worker panic. Experiment runs
+// signal invalid configurations and coherence violations by panicking
+// (see runOne), and the serial loops let those panics reach the caller;
+// the worker pool captures them instead, so re-raise here to keep the
+// contract.
+func rethrow(panics []*runner.Panic) {
+	if len(panics) > 0 {
+		panic(panics[0].Error())
+	}
 }
 
 // pct formats a fraction as a percentage.

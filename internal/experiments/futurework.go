@@ -6,6 +6,7 @@ import (
 
 	"cenju4/internal/machine"
 	"cenju4/internal/npb"
+	"cenju4/internal/runner"
 	"cenju4/internal/sim"
 )
 
@@ -36,31 +37,45 @@ type FutureWorkResult struct {
 // under the update-protocol extension.
 func FutureWork(cfg Config) FutureWorkResult {
 	cfg = cfg.withDefaults()
-	seq := seqTime(cfg, npb.CG)
-	var res FutureWorkResult
+	type job struct {
+		nodes  int
+		update bool
+	}
+	var jobs []job
 	for _, nodes := range []int{16, 64, 128} {
-		run := func(update bool) (machine.Result, *npb.Workload) {
-			w, err := npb.Build(npb.Options{
-				App:            npb.CG,
-				Variant:        npb.DSM2,
-				Nodes:          nodes,
-				DataMapping:    true,
-				Iterations:     cfg.Iterations,
-				Scale:          cfg.Scale,
-				UpdateProtocol: update,
-			})
-			if err != nil {
-				panic(err)
-			}
-			m := machine.New(machine.Config{
-				Nodes:      nodes,
-				Multicast:  true,
-				UpdateMode: w.UpdateMode,
-			})
-			return m.Run(w.Progs), w
+		jobs = append(jobs, job{nodes, false}, job{nodes, true})
+	}
+	// Run 0 is the sequential CG baseline; runs 1.. are the jobs above.
+	runs, panics := runner.Map(cfg.parOpts(), len(jobs)+1, func(i int) machine.Result {
+		if i == 0 {
+			return runOne(cfg, npb.CG, npb.Seq, 1, false).result
 		}
-		base, _ := run(false)
-		upd, _ := run(true)
+		j := jobs[i-1]
+		w, err := npb.Build(npb.Options{
+			App:            npb.CG,
+			Variant:        npb.DSM2,
+			Nodes:          j.nodes,
+			DataMapping:    true,
+			Iterations:     cfg.Iterations,
+			Scale:          cfg.Scale,
+			UpdateProtocol: j.update,
+		})
+		if err != nil {
+			panic(err)
+		}
+		m := machine.New(machine.Config{
+			Nodes:      j.nodes,
+			Multicast:  true,
+			UpdateMode: w.UpdateMode,
+		})
+		return m.Run(w.Progs)
+	})
+	rethrow(panics)
+	seq := runs[0].Time
+	var res FutureWorkResult
+	for i := 0; i < len(jobs); i += 2 {
+		nodes := jobs[i].nodes
+		base, upd := runs[1+i], runs[2+i]
 		var l3, uw uint64
 		for _, s := range upd.Protocol {
 			l3 += s.L3Hits

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"cenju4/internal/directory"
+	"cenju4/internal/runner"
 )
 
 // Table1Result is the directory-scheme comparison: the paper's
@@ -53,7 +54,9 @@ type Figure4Result struct {
 	PanelB map[string][]directory.PrecisionPoint
 }
 
-// Figure4 runs the Monte-Carlo precision sweeps.
+// Figure4 runs the Monte-Carlo precision sweeps, one worker per
+// (scheme, panel) pair. Each sweep's seed is fixed by its panel, so
+// the result is independent of cfg.Parallel.
 func Figure4(cfg Config) Figure4Result {
 	cfg = cfg.withDefaults()
 	res := Figure4Result{
@@ -62,9 +65,29 @@ func Figure4(cfg Config) Figure4Result {
 	}
 	a := directory.PrecisionConfig{TotalNodes: 1024, Trials: cfg.Trials, Seed: cfg.Seed}
 	b := directory.PrecisionConfig{TotalNodes: 1024, GroupSize: 128, Trials: cfg.Trials, Seed: cfg.Seed + 1}
-	for _, s := range directory.Schemes() {
-		res.PanelA[s.Name] = directory.EvaluatePrecision(s, a, directory.DefaultSharerCounts(1024))
-		res.PanelB[s.Name] = directory.EvaluatePrecision(s, b, directory.DefaultSharerCounts(128))
+	schemes := directory.Schemes()
+	type sweep struct {
+		scheme int // index into schemes
+		pc     directory.PrecisionConfig
+		counts []int
+		panelA bool
+	}
+	var jobs []sweep
+	for i := range schemes {
+		jobs = append(jobs, sweep{i, a, directory.DefaultSharerCounts(1024), true})
+		jobs = append(jobs, sweep{i, b, directory.DefaultSharerCounts(128), false})
+	}
+	points, panics := runner.Map(cfg.parOpts(), len(jobs), func(i int) []directory.PrecisionPoint {
+		j := jobs[i]
+		return directory.EvaluatePrecision(schemes[j.scheme], j.pc, j.counts)
+	})
+	rethrow(panics)
+	for i, j := range jobs {
+		if j.panelA {
+			res.PanelA[schemes[j.scheme].Name] = points[i]
+		} else {
+			res.PanelB[schemes[j.scheme].Name] = points[i]
+		}
 	}
 	return res
 }

@@ -8,6 +8,7 @@ import (
 	"cenju4/internal/core"
 	"cenju4/internal/cpu"
 	"cenju4/internal/machine"
+	"cenju4/internal/runner"
 	"cenju4/internal/sim"
 	"cenju4/internal/topology"
 	"cenju4/internal/trace"
@@ -118,8 +119,14 @@ type Options struct {
 	MaxShrinkRuns int
 	// Faults forwards injected bugs to every case (self-tests).
 	Faults *core.Faults
-	// Progress, when set, receives one line per completed case.
+	// Progress, when set, receives one line per completed case. Lines
+	// are emitted in case order regardless of Parallel.
 	Progress io.Writer
+	// Parallel is the number of cases run concurrently (each on its own
+	// machine). Zero means GOMAXPROCS; 1 forces sequential. The report
+	// is byte-identical at every setting: per-case seeds derive from the
+	// case index and results merge in index order.
+	Parallel int
 }
 
 func (o Options) withDefaults() Options {
@@ -144,37 +151,42 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// splitmix64 is the standard seed mixer: distinct per-case seeds from
-// one user seed, stable across runs.
-func splitmix64(x uint64) uint64 {
-	x += 0x9e3779b97f4a7c15
-	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
-	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
-	return x ^ (x >> 31)
-}
-
-// CaseSeed derives the i-th case's seed from the run seed.
+// CaseSeed derives the i-th case's seed from the run seed
+// (runner.DeriveSeed's splitmix64 mixing: distinct per-case seeds from
+// one user seed, stable across runs).
 func CaseSeed(seed uint64, i int) uint64 {
-	return splitmix64(seed ^ splitmix64(uint64(i)+1))
+	return runner.DeriveSeed(seed, i)
 }
 
 // Run executes the full pattern x cell sweep and returns the report.
+// Cases are sharded across Options.Parallel workers; because every
+// case's seed derives from its matrix index and results merge in index
+// order, the report is byte-identical at every parallelism level.
 func Run(o Options) *Report {
 	o = o.withDefaults()
 	rep := &Report{Options: o}
-	i := 0
+	var cases []Case
 	for _, p := range o.Patterns {
 		for _, cell := range o.Cells {
-			c := Case{
-				Seed:    CaseSeed(o.Seed, i),
+			cases = append(cases, Case{
+				Seed:    CaseSeed(o.Seed, len(cases)),
 				Nodes:   o.Nodes,
 				Ops:     o.Ops,
 				Rounds:  o.Rounds,
 				Pattern: p,
 				Cell:    cell,
 				Faults:  o.Faults,
-			}
-			i++
+			})
+		}
+	}
+	results, panics := runner.MapEach(
+		runner.Options{
+			Parallel: o.Parallel,
+			Label:    func(i int) string { return cases[i].String() },
+		},
+		len(cases),
+		func(i int) *Result {
+			c := cases[i]
 			ops := Generate(c.Pattern, c.Seed, c.Nodes, c.Ops)
 			res := RunOps(c, ops)
 			if res.Failed() && o.Shrink {
@@ -184,16 +196,25 @@ func Run(o Options) *Report {
 				l, s := CountOps(min)
 				res.ShrunkOps = l + s
 			}
-			rep.Results = append(rep.Results, res)
+			return res
+		},
+		func(i int, res *Result) {
 			if o.Progress != nil {
 				status := "ok"
 				if res.Failed() {
 					status = "FAIL"
 				}
-				fmt.Fprintf(o.Progress, "%-4s %v\n", status, c)
+				fmt.Fprintf(o.Progress, "%-4s %v\n", status, cases[i])
 			}
-		}
+		})
+	// RunOps captures simulator panics itself; a runner-level panic means
+	// the harness around it (generation, shrinking) blew up. Record it as
+	// a failed result so the report stays complete instead of killing
+	// the sweep.
+	for _, p := range panics {
+		results[p.Index] = &Result{Case: cases[p.Index], Panic: fmt.Sprintf("harness: %v", p.Value)}
 	}
+	rep.Results = results
 	return rep
 }
 

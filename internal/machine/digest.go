@@ -1,0 +1,59 @@
+package machine
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+
+	"cenju4/internal/msg"
+)
+
+// Digest returns a canonical SHA-256 digest of a Result, used by the
+// golden regression tests: any engine, network or protocol change that
+// perturbs a simulation's outcome — timing, event counts, per-node
+// statistics — changes the digest.
+//
+// The serialization is explicit field-by-field writing in declaration
+// order, never reflection or map iteration, so it is stable across
+// process runs and Go versions. The one map in the Result
+// (core.Stats.Requests) is written in msg.Kind numeric order. When a
+// field is added to any stats struct, extend writeResult and regenerate
+// the golden files (see fuzz/golden_test.go).
+func Digest(r Result) string {
+	h := sha256.New()
+	writeResult(h, r)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func writeResult(w io.Writer, r Result) {
+	p := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
+	p("time=%d events=%d\n", r.Time, r.Events)
+	for i, s := range r.PerNode {
+		p("cpu%d %d %d %d %d %d %d %d %d %d %d %d %t %d\n", i,
+			s.Instructions, s.MemAccesses,
+			s.PrivateAccesses, s.LocalAccesses, s.RemoteAccesses,
+			s.Misses, s.PrivateMisses, s.LocalMisses, s.RemoteMisses,
+			s.BusyTime, s.SyncTime, s.Finished, s.EndTime)
+	}
+	for i, s := range r.Protocol {
+		p("ctrl%d", i)
+		for k := msg.Kind(0); k <= msg.UpdateAck; k++ {
+			if v := s.Requests[k]; v != 0 {
+				p(" %d:%d", uint8(k), v)
+			}
+		}
+		p(" | %d %d %d %d %d %d %d", s.Replies, s.Nacks, s.Retries,
+			s.MaxRetries, s.Writebacks, s.LatencySum, s.LatencyMax)
+		p(" %d %d %d %d %d %d %d", s.Completed, s.HomeRequests,
+			s.HomeForwards, s.Invalidations, s.InvTargets,
+			s.QueuedRequests, s.QueueHighWater)
+		p(" %d %d %d %d %d\n", s.SlaveRequests, s.SlaveOverflowHW,
+			s.HomeOverflowHW, s.L3Hits, s.UpdateWrites)
+	}
+	n := r.Network
+	p("net %d %d %d %d %d %d %d %d %d %d\n", n.Messages, n.Deliveries,
+		n.Hops, n.Multicasts, n.Gathers, n.GatherMerges, n.PeakGathers,
+		n.DataMessages, n.ContendedHops, n.MaxPortBacklog)
+	p("mpi %d %d %d %d\n", r.MPI.Messages, r.MPI.Bytes, r.MPI.Barriers, r.MPI.AllReduces)
+}

@@ -78,11 +78,17 @@ func New(cfg Config) *Machine {
 		panic(fmt.Sprintf("machine: invalid node count %d", cfg.Nodes))
 	}
 	m := &Machine{cfg: cfg, eng: sim.NewEngine()}
+	// One message pool serves the whole machine: controllers allocate
+	// from it, the network's release points feed it. Safe because every
+	// machine handler is Controller.Deliver, which never retains a
+	// delivered message past the handler call.
+	pool := &msg.Pool{}
 	m.net = network.New(m.eng, network.Config{
 		Nodes:     cfg.Nodes,
 		Stages:    cfg.Stages,
 		Multicast: cfg.Multicast,
 		Params:    cfg.Params,
+		Pool:      pool,
 	})
 	m.world = mpi.New(m.eng, cfg.Nodes, cfg.MPI)
 	m.ctrls = make([]*core.Controller, cfg.Nodes)
@@ -98,6 +104,7 @@ func New(cfg Config) *Machine {
 			SinglecastThreshold: cfg.SinglecastThreshold,
 			UpdateMode:          cfg.UpdateMode,
 			Faults:              cfg.Faults,
+			Pool:                pool,
 		})
 		m.net.Attach(node, m.ctrls[i].Deliver)
 		cpuCfg := cfg.CPU

@@ -18,6 +18,7 @@ package memory
 
 import (
 	"fmt"
+	"slices"
 
 	"cenju4/internal/directory"
 	"cenju4/internal/topology"
@@ -53,11 +54,19 @@ func (m *Memory) Entry(addr topology.Addr) *directory.Entry {
 // Touched returns the number of blocks with allocated directory entries.
 func (m *Memory) Touched() int { return len(m.entries) }
 
-// ForEach visits every touched directory entry with its block index.
-// Iteration order is unspecified.
+// ForEach visits every touched directory entry in ascending block
+// order. The order matters: validators report the FIRST violating block
+// they find, and that report must be identical across runs (the
+// parallel-equivalence tests in internal/fuzz compare failure output
+// byte for byte).
 func (m *Memory) ForEach(fn func(blockIndex uint64, e *directory.Entry)) {
-	for idx, e := range m.entries {
-		fn(idx, e)
+	idxs := make([]uint64, 0, len(m.entries))
+	for idx := range m.entries { //cenju4:order-insensitive — keys are sorted below
+		idxs = append(idxs, idx)
+	}
+	slices.Sort(idxs)
+	for _, idx := range idxs {
+		fn(idx, m.entries[idx])
 	}
 }
 

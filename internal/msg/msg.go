@@ -142,6 +142,10 @@ type Message struct {
 	// maintained only when a core.ValueTracker is attached (the fuzzing
 	// harness's consistency oracle); timing never depends on it.
 	Val uint64
+
+	// inPool guards against double release / use-after-release when the
+	// message came from a Pool (see pool.go).
+	inPool bool
 }
 
 // GatherContribution reports whether this message is a reply to be

@@ -64,6 +64,13 @@ type Config struct {
 	Multicast bool
 	// Params supplies latency constants; zero value means timing.Default().
 	Params timing.Params
+	// Pool, when non-nil, recycles Message records: the network releases
+	// every message it finishes with (delivered to a handler, absorbed by
+	// gathering, or expanded into copies) back to the pool. Enable it
+	// only when every attached handler finishes with its messages before
+	// returning — machine.Machine does; handlers that retain delivered
+	// messages must leave Pool nil.
+	Pool *msg.Pool
 }
 
 func (c Config) withDefaults() Config {
@@ -226,14 +233,20 @@ func (n *Network) walkUnicast(src, dst int, t sim.Time, data bool) sim.Time {
 	return n.claim(&n.eject[dst], t, ser) + p.NetFixed/2
 }
 
-// deliver schedules the handler invocation for node at time t.
+// deliver schedules the handler invocation for node at time t. The
+// message is released to the pool (if any) when the handler returns:
+// delivery is the end of the network's ownership, and pooled handlers
+// are required not to retain.
 func (n *Network) deliver(m *msg.Message, node topology.NodeID, t sim.Time) {
 	h := n.handlers[node]
 	if h == nil {
 		panic(fmt.Sprintf("network: no handler attached at %v", node))
 	}
 	n.stats.Deliveries++
-	n.eng.At(t, func() { h(m) })
+	n.eng.At(t, func() {
+		h(m)
+		n.cfg.Pool.Put(m)
+	})
 }
 
 // Send injects a message. Singlecast messages go to the single node in
@@ -266,12 +279,14 @@ func (n *Network) Send(m *msg.Message) {
 			// Singlecast expansion: the source injects one copy per
 			// destination, serialized at its injection port.
 			for _, d := range members {
-				cp := *m
+				cp := n.cfg.Pool.Clone(m)
 				cp.Dest = directory.Single(d)
 				t := n.walkUnicast(int(m.Src), int(d), now, m.HasData)
-				n.deliver(&cp, d, t)
+				n.deliver(cp, d, t)
 			}
 		}
+		// Fan-out complete: only the per-destination copies travel on.
+		n.cfg.Pool.Put(m)
 	}
 }
 
@@ -315,9 +330,9 @@ func (n *Network) mcStep(m *msg.Message, k, prefix int, t sim.Time) {
 		}
 		_, ser := n.hopSer(m.HasData)
 		arr := n.claim(&n.eject[int(node)], t, ser) + p.NetFixed/2
-		cp := *m
+		cp := n.cfg.Pool.Clone(m)
 		cp.Dest = directory.Single(node)
-		n.deliver(&cp, node, arr)
+		n.deliver(cp, node, arr)
 		return
 	}
 	hop, ser := n.hopSer(m.HasData)
@@ -413,8 +428,10 @@ func (n *Network) walkGather(m *msg.Message, t sim.Time) {
 			ge.latest = t
 		}
 		if ge.waitMask != 0 {
-			// Earlier contribution: absorbed here, removed from the buffer.
+			// Earlier contribution: absorbed here, removed from the buffer
+			// (its counts live on in the gather entry).
 			n.stats.GatherMerges++
+			n.cfg.Pool.Put(m)
 			return
 		}
 		// Last contribution: forward the combined message.

@@ -1,0 +1,220 @@
+package sim
+
+// calQueue is a lazy-delete bucketed calendar queue (R. Brown, CACM
+// 1988) specialized for the simulator's near-monotonic schedule: almost
+// every insertion lands at or shortly after the current cursor, so a
+// dequeue is an O(1) scan of the cursor bucket instead of an O(log n)
+// heap sift. Power-of-two bucket widths keep indexing to a shift and a
+// mask.
+//
+// Ordering contract (identical to the heap it replaced, proven by the
+// differential test in calqueue_test.go): events dequeue in ascending
+// (at, seq) order. The invariant that makes the cursor-bucket scan
+// sufficient: every live event satisfies at >= bucketTop-width (the
+// cursor window start) — push resets the cursor whenever an insertion
+// would land before it — so all events due in the current window
+// [bucketTop-width, bucketTop) hash to the cursor bucket itself, and
+// the window minimum is the global minimum.
+//
+// Cancellation is lazy: Engine.Cancel only marks the event dead and
+// adjusts counters; the entry is dropped when a scan or rebuild next
+// touches it. Rebuilds re-spread events over 2x the live count in
+// buckets and re-derive the width from the live span, so occupancy
+// stays O(1) per bucket per year for self-similar schedules.
+type calQueue struct {
+	buckets [][]*Event
+	mask    uint64 // len(buckets)-1; len is a power of two
+	shift   uint   // bucket width = 1 << shift nanoseconds
+	size    int    // live (non-canceled) events
+	dead    int    // canceled events still resident in buckets
+	cur     int    // cursor bucket index
+	// bucketTop is the exclusive upper time bound of the cursor
+	// bucket's active window.
+	bucketTop Time
+}
+
+const calMinBuckets = 8
+
+func (q *calQueue) init() {
+	q.buckets = make([][]*Event, calMinBuckets)
+	q.mask = calMinBuckets - 1
+	q.shift = 0
+	q.resetCursor(0)
+}
+
+func (q *calQueue) width() Time { return Time(1) << q.shift }
+
+func (q *calQueue) bucketFor(t Time) int {
+	return int((uint64(t) >> q.shift) & q.mask)
+}
+
+// resetCursor points the cursor at the bucket and window containing t.
+func (q *calQueue) resetCursor(t Time) {
+	q.cur = q.bucketFor(t)
+	q.bucketTop = (t>>q.shift + 1) << q.shift
+}
+
+// push inserts ev, repositioning the cursor when the insertion lands
+// before the current window (only possible for inserts at the engine's
+// current time after the cursor drained past it — e.g. work scheduled
+// by an idle callback).
+func (q *calQueue) push(ev *Event) {
+	if q.size == 0 || ev.at < q.bucketTop-q.width() {
+		q.resetCursor(ev.at)
+	}
+	b := q.bucketFor(ev.at)
+	q.buckets[b] = append(q.buckets[b], ev)
+	q.size++
+	if q.size+q.dead > 2*len(q.buckets) {
+		q.rebuild()
+	}
+}
+
+// pop removes and returns the minimum live event by (at, seq), or nil
+// when the queue is empty. Dead entries encountered on the way are
+// dropped.
+func (q *calQueue) pop() *Event {
+	if q.size == 0 {
+		return nil
+	}
+	if q.dead > q.size && q.dead > 64 {
+		q.rebuild() // mostly tombstones: compact
+	}
+	w := q.width()
+	for scanned := 0; scanned < len(q.buckets); scanned++ {
+		if ev := q.scanBucket(q.cur); ev != nil {
+			q.size--
+			return ev
+		}
+		q.cur = int(uint64(q.cur+1) & q.mask)
+		q.bucketTop += w
+	}
+	// A full ring (one "year") without a due event: every live event is
+	// more than nbuckets*width ahead. Find the global minimum directly
+	// and restart the cursor there.
+	ev := q.popMinDirect()
+	q.size--
+	return ev
+}
+
+// scanBucket removes and returns the minimum due event of bucket i
+// (due: at < bucketTop), dropping dead entries as it goes.
+func (q *calQueue) scanBucket(i int) *Event {
+	b := q.buckets[i]
+	best := -1
+	for j := 0; j < len(b); {
+		ev := b[j]
+		if ev.dead {
+			b[j] = b[len(b)-1]
+			b[len(b)-1] = nil
+			b = b[:len(b)-1]
+			q.dead--
+			continue
+		}
+		if ev.at < q.bucketTop &&
+			(best < 0 || ev.at < b[best].at || (ev.at == b[best].at && ev.seq < b[best].seq)) {
+			best = j
+		}
+		j++
+	}
+	q.buckets[i] = b
+	if best < 0 {
+		return nil
+	}
+	ev := b[best]
+	b[best] = b[len(b)-1]
+	b[len(b)-1] = nil
+	q.buckets[i] = b[:len(b)-1]
+	return ev
+}
+
+// popMinDirect removes and returns the global minimum by (at, seq) with
+// a full sweep, and repositions the cursor at its window.
+func (q *calQueue) popMinDirect() *Event {
+	var best *Event
+	bi := -1
+	for i := range q.buckets {
+		b := q.buckets[i]
+		for j := 0; j < len(b); {
+			ev := b[j]
+			if ev.dead {
+				b[j] = b[len(b)-1]
+				b[len(b)-1] = nil
+				b = b[:len(b)-1]
+				q.dead--
+				continue
+			}
+			if best == nil || ev.at < best.at || (ev.at == best.at && ev.seq < best.seq) {
+				best = ev
+				bi = i
+			}
+			j++
+		}
+		q.buckets[i] = b
+	}
+	if best == nil {
+		panic("sim: calendar queue lost an event") // size said otherwise
+	}
+	b := q.buckets[bi]
+	for j, ev := range b {
+		if ev == best {
+			b[j] = b[len(b)-1]
+			b[len(b)-1] = nil
+			q.buckets[bi] = b[:len(b)-1]
+			break
+		}
+	}
+	q.resetCursor(best.at)
+	return best
+}
+
+// rebuild re-spreads the live events over a bucket count sized for the
+// population and a width sized for the live span, dropping tombstones.
+func (q *calQueue) rebuild() {
+	live := make([]*Event, 0, q.size)
+	for _, b := range q.buckets {
+		for _, ev := range b {
+			if !ev.dead {
+				live = append(live, ev)
+			}
+		}
+	}
+	q.dead = 0
+	q.size = len(live)
+
+	nb := calMinBuckets
+	for nb < 2*len(live) {
+		nb <<= 1
+	}
+	q.buckets = make([][]*Event, nb)
+	q.mask = uint64(nb) - 1
+
+	// Width: the average inter-event gap of the live population, rounded
+	// down to a power of two (min 1). With nb >= 2*size this spreads a
+	// uniform schedule at <= 1 event per bucket per year.
+	q.shift = 0
+	if len(live) > 1 {
+		lo, hi := live[0].at, live[0].at
+		for _, ev := range live[1:] {
+			if ev.at < lo {
+				lo = ev.at
+			}
+			if ev.at > hi {
+				hi = ev.at
+			}
+		}
+		gap := (hi - lo) / Time(len(live))
+		for q.shift < 40 && Time(1)<<(q.shift+1) <= gap {
+			q.shift++
+		}
+		q.resetCursor(lo)
+	} else if len(live) == 1 {
+		q.resetCursor(live[0].at)
+	} else {
+		q.resetCursor(0)
+	}
+	for _, ev := range live {
+		b := q.bucketFor(ev.at)
+		q.buckets[b] = append(q.buckets[b], ev)
+	}
+}

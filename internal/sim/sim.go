@@ -5,12 +5,21 @@
 // simulation fully deterministic for a given input. All Cenju-4 component
 // models (switches, caches, protocol modules, processors) schedule work
 // through one Engine.
+//
+// The queue is a lazy-delete bucketed calendar queue (see calqueue.go),
+// chosen for the simulator's near-monotonic schedule pattern; the
+// differential test in calqueue_test.go proves it dequeue-equivalent to
+// the reference binary heap. Event records are pooled: once an event
+// has fired, the engine recycles its storage for a later At/After. The
+// *Event handle returned by At/After is therefore valid for
+// Cancel/Canceled only until the event fires; retaining a handle past
+// that point and using it may observe an unrelated recycled event.
+// Canceled events are never recycled, so a canceled handle's Canceled()
+// stays true indefinitely. No simulation model in this repository
+// retains handles past firing.
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Time is simulated time in nanoseconds.
 type Time uint64
@@ -25,47 +34,20 @@ func (t Time) String() string { return fmt.Sprintf("%dns", uint64(t)) }
 
 // Event is a unit of scheduled work.
 type Event struct {
-	at   Time
-	seq  uint64
-	fn   func()
-	idx  int // heap index; -1 when not queued
-	dead bool
+	at     Time
+	seq    uint64
+	fn     func()
+	dead   bool // canceled before firing
+	queued bool // currently in the calendar queue
 }
 
-// Canceled reports whether the event was canceled before firing.
+// Canceled reports whether the event was canceled before firing. Only
+// meaningful while the handle is valid (see the package comment on
+// event recycling).
 func (e *Event) Canceled() bool { return e.dead }
 
 // When returns the time the event is scheduled for.
 func (e *Event) When() Time { return e.at }
-
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.idx = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.idx = -1
-	*h = old[:n-1]
-	return e
-}
 
 // Engine is a discrete-event simulation engine.
 //
@@ -73,15 +55,25 @@ func (h *eventHeap) Pop() any {
 type Engine struct {
 	now     Time
 	seq     uint64
-	queue   eventHeap
+	queue   calQueue
 	fired   uint64
 	stopped bool
 	idle    func()
+
+	// free and chunk implement the event pool: fired events return to
+	// free; fresh events are carved from chunk in blocks so one
+	// allocation covers eventChunk schedules.
+	free  []*Event
+	chunk []Event
 }
+
+const eventChunk = 256
 
 // NewEngine returns an engine with the clock at zero.
 func NewEngine() *Engine {
-	return &Engine{}
+	e := &Engine{}
+	e.queue.init()
+	return e
 }
 
 // Now returns the current simulated time.
@@ -90,18 +82,45 @@ func (e *Engine) Now() Time { return e.now }
 // Fired returns the number of events executed so far.
 func (e *Engine) Fired() uint64 { return e.fired }
 
-// Pending returns the number of events waiting in the queue.
-func (e *Engine) Pending() int { return len(e.queue) }
+// Pending returns the number of events waiting in the queue (canceled
+// events do not count).
+func (e *Engine) Pending() int { return e.queue.size }
+
+// alloc returns a zeroed event record from the pool.
+func (e *Engine) alloc() *Event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	if len(e.chunk) == 0 {
+		e.chunk = make([]Event, eventChunk)
+	}
+	ev := &e.chunk[0]
+	e.chunk = e.chunk[1:]
+	return ev
+}
+
+// recycle returns a finished event record to the pool.
+func (e *Engine) recycle(ev *Event) {
+	ev.fn = nil
+	ev.queued = false
+	e.free = append(e.free, ev)
+}
 
 // At schedules fn to run at absolute time t. Scheduling in the past
-// panics: it always indicates a model bug.
+// panics: it always indicates a model bug. Scheduling while the engine
+// is stopped (or after Stop, before the next Run) is allowed; the event
+// waits for the next Run/RunUntil.
 func (e *Engine) At(t Time, fn func()) *Event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
-	ev := &Event{at: t, seq: e.seq, fn: fn}
+	ev := e.alloc()
+	*ev = Event{at: t, seq: e.seq, fn: fn, queued: true}
 	e.seq++
-	heap.Push(&e.queue, ev)
+	e.queue.push(ev)
 	return ev
 }
 
@@ -111,26 +130,32 @@ func (e *Engine) After(d Time, fn func()) *Event {
 }
 
 // Cancel removes a pending event. Canceling an already-fired or
-// already-canceled event is a no-op.
+// already-canceled event (while its handle is still valid) is a no-op,
+// as is canceling nil. Cancellation is lazy: the entry is dropped when
+// the queue next scans it. Canceled records are not pooled, so the
+// handle's Canceled() result stays valid indefinitely.
 func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.dead || ev.idx < 0 {
+	if ev == nil || ev.dead || !ev.queued {
 		return
 	}
 	ev.dead = true
-	heap.Remove(&e.queue, ev.idx)
-	ev.idx = -1
+	ev.queued = false
+	e.queue.size--
+	e.queue.dead++
 }
 
 // Step executes the single earliest event. It reports false when the
 // queue is empty.
 func (e *Engine) Step() bool {
-	if len(e.queue) == 0 {
+	ev := e.queue.pop()
+	if ev == nil {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(*Event)
 	e.now = ev.at
 	e.fired++
-	ev.fn()
+	fn := ev.fn
+	e.recycle(ev)
+	fn()
 	return true
 }
 
@@ -138,11 +163,14 @@ func (e *Engine) Step() bool {
 // the event queue drains — the machine's quiescent points. fn may
 // schedule new events; Run then continues. Drivers that inject work in
 // rounds therefore get one callback per round without hand-rolling
-// idle detection.
+// idle detection. The idle func is NOT invoked when Run returns because
+// of Stop: a stopped engine is paused mid-schedule, not quiescent.
 func (e *Engine) SetIdleFunc(fn func()) { e.idle = fn }
 
 // Run executes events until the queue drains or Stop is called. It
-// returns the number of events executed by this call.
+// returns the number of events executed by this call. Run clears any
+// Stop left from an earlier call first, so a Stop issued while the
+// engine is not running has no effect on the next Run.
 func (e *Engine) Run() uint64 {
 	start := e.fired
 	e.stopped = false
@@ -153,7 +181,7 @@ func (e *Engine) Run() uint64 {
 		if e.idle != nil {
 			e.idle()
 		}
-		if len(e.queue) == 0 {
+		if e.queue.size == 0 {
 			break
 		}
 	}
@@ -162,12 +190,25 @@ func (e *Engine) Run() uint64 {
 
 // RunUntil executes events with time <= deadline. Events scheduled past
 // the deadline remain queued; the clock is left at the last fired event
-// (or advanced to the deadline if nothing fired at it).
+// (or advanced to the deadline if nothing fired at it). Like Run it
+// clears a stale Stop on entry and returns early when Stop is called.
 func (e *Engine) RunUntil(deadline Time) uint64 {
 	start := e.fired
 	e.stopped = false
-	for !e.stopped && len(e.queue) > 0 && e.queue[0].at <= deadline {
-		e.Step()
+	for !e.stopped {
+		ev := e.queue.pop()
+		if ev == nil {
+			break
+		}
+		if ev.at > deadline {
+			e.queue.push(ev) // not due: put it back (seq preserved)
+			break
+		}
+		e.now = ev.at
+		e.fired++
+		fn := ev.fn
+		e.recycle(ev)
+		fn()
 	}
 	if e.now < deadline && !e.stopped {
 		e.now = deadline
@@ -179,5 +220,9 @@ func (e *Engine) RunUntil(deadline Time) uint64 {
 func (e *Engine) RunFor(d Time) uint64 { return e.RunUntil(e.now + d) }
 
 // Stop makes the current Run/RunUntil call return after the current
-// event completes. Pending events stay queued.
+// event completes. Pending events stay queued and fire on the next
+// Run/RunUntil; events may still be scheduled and canceled while the
+// engine is stopped. Stop does not persist: the next Run/RunUntil
+// clears it on entry, so stopping an engine that is not running is a
+// no-op.
 func (e *Engine) Stop() { e.stopped = true }
