@@ -36,8 +36,10 @@ import (
 	"cenju4/internal/directory"
 	"cenju4/internal/fuzz"
 	"cenju4/internal/machine"
+	"cenju4/internal/metrics"
 	"cenju4/internal/npb"
 	"cenju4/internal/topology"
+	"cenju4/internal/trace"
 )
 
 // Option configures a Machine.
@@ -234,6 +236,13 @@ type WorkloadOptions struct {
 	// proposal): stores broadcast data to a third-level cache in every
 	// node's main memory and loads are satisfied locally.
 	UpdateProtocol bool
+	// Metrics, when non-nil, receives the run's observability registry
+	// (counters, watermark gauges, latency histograms) — see
+	// internal/metrics.
+	Metrics *metrics.Registry
+	// Trace, when non-nil, collects the protocol event stream; export it
+	// with trace.WriteChrome for Perfetto.
+	Trace *trace.Collector
 }
 
 // RunNPB builds and runs one of the paper's workloads. app is one of
@@ -270,7 +279,13 @@ func RunNPB(app, variant string, opts WorkloadOptions) (WorkloadResult, error) {
 		return WorkloadResult{}, err
 	}
 	m := machine.New(machine.Config{Nodes: opts.Nodes, Multicast: true, UpdateMode: w.UpdateMode})
+	if opts.Trace != nil {
+		m.SetTracer(opts.Trace.Tracer())
+	}
 	r := m.Run(w.Progs)
+	if opts.Metrics != nil {
+		m.MetricsInto(opts.Metrics)
+	}
 	tot := r.Totals()
 	misses := float64(tot.Misses)
 	if misses == 0 {

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	cenju4-bench [-quick|-full] [-scale f] [-iters n] [-only name]
+//	             [-metrics-out m.json] [-trace-out t.json] [-trace-max n]
 //
 // Experiment names: table1, table2, table3, table4, fig4, fig10, fig11,
 // fig12, futurework, ablations. The default runs everything under the
@@ -20,6 +21,8 @@ import (
 	"time"
 
 	"cenju4/internal/experiments"
+	"cenju4/internal/metrics"
+	"cenju4/internal/trace"
 )
 
 func main() {
@@ -31,6 +34,9 @@ func main() {
 	seed := flag.Int64("seed", 0, "Monte-Carlo seed for Figure 4 (0 = preset default)")
 	ablSeed := flag.Int64("ablation-seed", 7, "sharer-placement seed for the imprecision ablation")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "worker goroutines for independent simulation runs (1 = sequential; output is byte-identical at every setting)")
+	metricsOut := flag.String("metrics-out", "", "write the merged metrics registry of all machine runs as canonical JSON to this file")
+	traceOut := flag.String("trace-out", "", "write a Chrome-trace-event (Perfetto-loadable) JSON file covering all machine runs")
+	traceMax := flag.Int("trace-max", 1<<16, "per-run trace event capacity for -trace-out; excess events are counted and surfaced")
 	flag.Parse()
 
 	cfg := experiments.Quick()
@@ -49,6 +55,13 @@ func main() {
 		cfg.Seed = *seed
 	}
 	cfg.Parallel = *parallel
+	if *metricsOut != "" || *traceOut != "" {
+		ob := &experiments.Observation{}
+		if *traceOut != "" {
+			ob.TraceCap = *traceMax
+		}
+		cfg.Observe = ob
+	}
 
 	selected := map[string]bool{}
 	if *only != "" {
@@ -101,5 +114,41 @@ func main() {
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "cenju4-bench: no experiment matches %q\n", *only)
 		os.Exit(2)
+	}
+
+	if *metricsOut != "" {
+		reg := cfg.Observe.Metrics
+		if reg == nil {
+			reg = metrics.New() // no machine-building experiment selected
+		}
+		f, err := os.Create(*metricsOut)
+		if err == nil {
+			err = reg.WriteJSON(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cenju4-bench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err == nil {
+			var dropped int
+			dropped, err = trace.WriteChrome(f, cfg.Observe.Streams...)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if dropped > 0 {
+				fmt.Fprintf(os.Stderr, "cenju4-bench: trace truncated: %d events beyond -trace-max %d (truncation is recorded in %s)\n",
+					dropped, *traceMax, *traceOut)
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cenju4-bench: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -7,6 +7,9 @@
 //	cenju4-fuzz -pattern hotspot -mode nack -ops 5000 # one slice
 //	cenju4-fuzz -replay 834259609813245009            # re-run one case
 //	                                                    with trace dump
+//	cenju4-fuzz -metrics-out m.json                   # merged case metrics
+//	cenju4-fuzz -replay N -trace-out t.json           # Perfetto trace of
+//	                                                    the replayed case
 //
 // The run is deterministic: the same seed and flags reproduce a
 // byte-identical report. On any oracle violation, invariant failure or
@@ -23,7 +26,9 @@ import (
 
 	"cenju4/internal/core"
 	"cenju4/internal/fuzz"
+	"cenju4/internal/metrics"
 	"cenju4/internal/topology"
+	"cenju4/internal/trace"
 )
 
 func main() {
@@ -43,16 +48,23 @@ func main() {
 	replay := flag.Uint64("replay", 0, "re-run the one case with this per-case seed, protocol trace attached")
 	quiet := flag.Bool("q", false, "suppress per-case progress lines")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "concurrent fuzz cases (1 = sequential; report and progress output are byte-identical at every setting)")
+	metricsOut := flag.String("metrics-out", "", "write the merged metrics registry of all cases as canonical JSON to this file")
+	traceOut := flag.String("trace-out", "", "write the replayed case's Chrome-trace-event JSON to this file (requires -replay)")
 	flag.Parse()
 
+	if *traceOut != "" && *replay == 0 {
+		log.Fatal("-trace-out requires -replay: full-matrix runs do not retain per-case event streams")
+	}
+
 	opts := fuzz.Options{
-		Seed:          *seed,
-		Nodes:         *nodes,
-		Ops:           *ops,
-		Rounds:        *rounds,
-		Shrink:        !*noShrink,
-		MaxShrinkRuns: *shrinkRuns,
-		Parallel:      *parallel,
+		Seed:           *seed,
+		Nodes:          *nodes,
+		Ops:            *ops,
+		Rounds:         *rounds,
+		Shrink:         !*noShrink,
+		MaxShrinkRuns:  *shrinkRuns,
+		Parallel:       *parallel,
+		CollectMetrics: *metricsOut != "",
 	}
 	if !*quiet {
 		opts.Progress = os.Stderr
@@ -78,20 +90,44 @@ func main() {
 	}
 
 	if *replay != 0 {
-		replayCase(opts, *replay)
+		replayCase(opts, *replay, *metricsOut, *traceOut)
 		return
 	}
 
 	rep := fuzz.Run(opts)
 	fmt.Print(rep.String())
+	if *metricsOut != "" {
+		reg := rep.MergedMetrics()
+		if reg == nil {
+			reg = metrics.New()
+		}
+		if err := writeMetrics(*metricsOut, reg); err != nil {
+			log.Fatal(err)
+		}
+	}
 	if rep.Failed() {
 		os.Exit(1)
 	}
 }
 
+// writeMetrics writes reg as canonical JSON to path.
+func writeMetrics(path string, reg *metrics.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 // replayCase re-runs the single case whose derived seed matches, with
-// the protocol tracer attached, and dumps the trace on failure.
-func replayCase(opts fuzz.Options, caseSeed uint64) {
+// the protocol tracer attached, and dumps the trace on failure. When
+// metricsOut/traceOut are set the case's registry and event stream are
+// exported regardless of pass/fail.
+func replayCase(opts fuzz.Options, caseSeed uint64, metricsOut, traceOut string) {
 	if len(opts.Patterns) == 0 {
 		opts.Patterns = fuzz.AllPatterns()
 	}
@@ -109,10 +145,32 @@ func replayCase(opts fuzz.Options, caseSeed uint64) {
 			c := fuzz.Case{
 				Seed: s, Nodes: opts.Nodes, Ops: opts.Ops, Rounds: opts.Rounds,
 				Pattern: p, Cell: cell, Trace: true,
+				Metrics: metricsOut != "",
 			}
 			streams := fuzz.Generate(c.Pattern, c.Seed, c.Nodes, c.Ops)
 			res := fuzz.RunOps(c, streams)
 			fmt.Printf("replay %v\n", c)
+			if metricsOut != "" && res.Metrics != nil {
+				if err := writeMetrics(metricsOut, res.Metrics); err != nil {
+					log.Fatal(err)
+				}
+			}
+			if traceOut != "" && res.Trace != nil {
+				f, err := os.Create(traceOut)
+				if err != nil {
+					log.Fatal(err)
+				}
+				dropped, err := trace.WriteChrome(f, res.Trace.Stream(fmt.Sprintf("replay %d", caseSeed)))
+				if err != nil {
+					log.Fatal(err)
+				}
+				if err := f.Close(); err != nil {
+					log.Fatal(err)
+				}
+				if dropped > 0 {
+					log.Printf("trace truncated: %d events beyond the replay collector bound (truncation is recorded in %s)", dropped, traceOut)
+				}
+			}
 			if !res.Failed() {
 				fmt.Println("ok: no violations")
 				return

@@ -4,15 +4,24 @@
 // Usage:
 //
 //	cenju4-sim -app bt -variant dsm2 -nodes 64 [-nomap] [-scale f] [-iters n]
+//	           [-seed n] [-metrics-out m.json] [-trace-out t.json] [-trace-max n]
+//
+// The simulation is fully deterministic: the same flags always produce
+// the same summary, the same -metrics-out report, and the same
+// -trace-out file, byte for byte. -seed is recorded in both outputs so
+// runs can be labelled, but does not perturb the simulation.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"sort"
 
 	"cenju4"
+	"cenju4/internal/metrics"
+	"cenju4/internal/trace"
 )
 
 func main() {
@@ -24,18 +33,67 @@ func main() {
 	nomap := flag.Bool("nomap", false, "disable shared-data mappings")
 	scale := flag.Float64("scale", 0.25, "problem scale (1.0 = NPB Class A)")
 	iters := flag.Int("iters", 2, "outer iterations")
+	seed := flag.Int64("seed", 0, "run label recorded in observability output (simulation is deterministic)")
+	metricsOut := flag.String("metrics-out", "", "write the metrics registry as canonical JSON to this file")
+	traceOut := flag.String("trace-out", "", "write a Chrome-trace-event (Perfetto-loadable) JSON file")
+	traceMax := flag.Int("trace-max", 1<<20, "trace event capacity; excess events are counted and surfaced")
 	flag.Parse()
 
+	opts := cenju4.WorkloadOptions{
+		Nodes:      *nodes,
+		Iterations: *iters,
+		Scale:      *scale,
+	}
 	mapped := !*nomap
-	res, err := cenju4.RunNPB(*app, *variant, cenju4.WorkloadOptions{
-		Nodes:       *nodes,
-		DataMapping: &mapped,
-		Iterations:  *iters,
-		Scale:       *scale,
-	})
+	opts.DataMapping = &mapped
+	var reg *metrics.Registry
+	if *metricsOut != "" {
+		reg = metrics.New()
+		opts.Metrics = reg
+	}
+	var col *trace.Collector
+	if *traceOut != "" {
+		col = trace.NewCollector(*traceMax)
+		opts.Trace = col
+	}
+
+	res, err := cenju4.RunNPB(*app, *variant, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	if reg != nil {
+		reg.Gauge("run/seed").Peak(*seed)
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := reg.WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if col != nil {
+		label := fmt.Sprintf("%s/%s nodes=%d seed=%d", *app, *variant, *nodes, *seed)
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dropped, err := trace.WriteChrome(f, col.Stream(label))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		if dropped > 0 {
+			log.Printf("trace truncated: %d events beyond -trace-max %d (truncation is recorded in %s)",
+				dropped, *traceMax, *traceOut)
+		}
+	}
+
 	fmt.Printf("%s/%s on %d nodes (scale %.2f, %d iterations, mappings %v)\n",
 		*app, *variant, *nodes, *scale, *iters, mapped)
 	fmt.Printf("  simulated time    %v\n", res.Time)

@@ -176,4 +176,9 @@ var SimPackages = map[string]bool{
 	"cenju4/internal/network":   true,
 	"cenju4/internal/directory": true,
 	"cenju4/internal/npb":       true,
+	// Observability must be as deterministic as the simulation it
+	// reports on: metric reports and trace exports are byte-compared
+	// across runs and across -parallel settings.
+	"cenju4/internal/metrics": true,
+	"cenju4/internal/trace":   true,
 }

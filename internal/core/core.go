@@ -37,6 +37,7 @@ import (
 	"cenju4/internal/cache"
 	"cenju4/internal/directory"
 	"cenju4/internal/memory"
+	"cenju4/internal/metrics"
 	"cenju4/internal/msg"
 	"cenju4/internal/sim"
 	"cenju4/internal/stats"
@@ -242,6 +243,40 @@ func (c *Controller) Stats() Stats {
 	// Copy the map so callers cannot race with updates.
 	s.Requests = maps.Clone(c.stats.Requests)
 	return s
+}
+
+// MetricsInto aggregates this controller's activity into reg under the
+// "core/" prefix. Counters add across nodes; the memory-resident FIFO
+// watermarks (request queue, home/slave overflow) and retry/latency
+// peaks fold in as maxima (Gauge.Peak), so one registry summarizes the
+// whole machine no matter the visit order.
+func (c *Controller) MetricsInto(reg *metrics.Registry) {
+	// Numeric kind loop instead of ranging the map: the per-kind counts
+	// land in name-sorted renderings anyway, but the additions themselves
+	// must happen in a fixed order for the determinism contract.
+	for k := msg.Kind(0); k <= msg.UpdateAck; k++ {
+		if n := c.stats.Requests[k]; n > 0 {
+			reg.Counter("core/requests/" + k.String()).Add(n)
+		}
+	}
+	reg.Counter("core/replies").Add(c.stats.Replies)
+	reg.Counter("core/nacks").Add(c.stats.Nacks)
+	reg.Counter("core/retries").Add(c.stats.Retries)
+	reg.Counter("core/writebacks").Add(c.stats.Writebacks)
+	reg.Counter("core/completed").Add(c.stats.Completed)
+	reg.Counter("core/home-requests").Add(c.stats.HomeRequests)
+	reg.Counter("core/home-forwards").Add(c.stats.HomeForwards)
+	reg.Counter("core/invalidations").Add(c.stats.Invalidations)
+	reg.Counter("core/inv-targets").Add(c.stats.InvTargets)
+	reg.Counter("core/queued-requests").Add(c.stats.QueuedRequests)
+	reg.Counter("core/slave-requests").Add(c.stats.SlaveRequests)
+	reg.Counter("core/l3-hits").Add(c.stats.L3Hits)
+	reg.Counter("core/update-writes").Add(c.stats.UpdateWrites)
+	reg.Gauge("core/max-retries").Peak(int64(c.stats.MaxRetries))
+	reg.Gauge("core/latency-max-ns").Peak(int64(c.stats.LatencyMax))
+	reg.Gauge("core/fifo/" + c.home.queue.Name()).Peak(int64(c.home.queue.HighWater()))
+	reg.Gauge("core/fifo/" + c.home.overflow.Name()).Peak(int64(c.home.overflow.HighWater()))
+	reg.Gauge("core/fifo/" + c.slave.overflow.Name()).Peak(int64(c.slave.overflow.HighWater()))
 }
 
 // Deliver is the network handler: it routes an incoming message to the

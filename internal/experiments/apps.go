@@ -25,6 +25,7 @@ func paperNodes(app npb.App) int {
 type appRun struct {
 	meta   npb.Meta
 	result machine.Result
+	obs    *runObservation
 }
 
 func runOne(cfg Config, app npb.App, v npb.Variant, nodes int, mapped bool) appRun {
@@ -40,11 +41,13 @@ func runOne(cfg Config, app npb.App, v npb.Variant, nodes int, mapped bool) appR
 		panic(fmt.Sprintf("experiments: %v", err))
 	}
 	m := machine.New(machine.Config{Nodes: nodes, Multicast: true})
+	col := cfg.observePre(m)
 	r := m.Run(w.Progs)
 	if err := m.Validate(); err != nil {
 		panic(fmt.Sprintf("experiments: coherence violated by %v/%v: %v", app, v, err))
 	}
-	return appRun{meta: w.Meta, result: r}
+	label := fmt.Sprintf("%v/%v nodes=%d", app, v, nodes)
+	return appRun{meta: w.Meta, result: r, obs: cfg.observePost(m, col, label)}
 }
 
 // appJob names one application run of a sweep: the job lists are pure
@@ -64,6 +67,9 @@ func runJobs(cfg Config, jobs []appJob) []appRun {
 		return runOne(cfg, j.app, j.v, j.nodes, j.mapped)
 	})
 	rethrow(panics)
+	for _, run := range runs {
+		cfg.Observe.absorb(run.obs)
+	}
 	return runs
 }
 

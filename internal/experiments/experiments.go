@@ -16,8 +16,11 @@ import (
 	"fmt"
 	"strings"
 
+	"cenju4/internal/machine"
+	"cenju4/internal/metrics"
 	"cenju4/internal/runner"
 	"cenju4/internal/sim"
+	"cenju4/internal/trace"
 )
 
 // Config scales the application experiments (the latency and precision
@@ -41,6 +44,70 @@ type Config struct {
 	// rendered tables are byte-identical at every setting (asserted by
 	// parallel_test.go, under -race in CI).
 	Parallel int
+	// Observe, when non-nil, collects observability output from the
+	// machine-building sweeps (the application experiments and the
+	// future-work comparison; the analytic latency/precision experiments
+	// have no full machines to observe). Workers return per-run payloads
+	// and the sweep absorbs them in run order, so the merged registry and
+	// stream list are identical at every Parallel setting.
+	Observe *Observation
+}
+
+// Observation gathers a sweep's observability output: the merged
+// metrics registry and, when TraceCap is positive, one protocol event
+// stream per machine run for the Chrome-trace exporter.
+type Observation struct {
+	// TraceCap bounds each run's trace collector (0 disables trace
+	// collection; metrics are always collected).
+	TraceCap int
+	// Metrics is the merged registry, created on first absorb.
+	Metrics *metrics.Registry
+	// Streams holds one entry per machine run, in run order.
+	Streams []trace.Stream
+}
+
+// runObservation is the per-run payload a worker returns; the sweep
+// absorbs it after the parallel map so no worker writes shared state.
+type runObservation struct {
+	reg    *metrics.Registry
+	stream trace.Stream
+}
+
+// observePre installs a bounded trace collector on m when tracing is
+// requested; nil otherwise.
+func (c Config) observePre(m *machine.Machine) *trace.Collector {
+	if c.Observe == nil || c.Observe.TraceCap <= 0 {
+		return nil
+	}
+	col := trace.NewCollector(c.Observe.TraceCap)
+	m.SetTracer(col.Tracer())
+	return col
+}
+
+// observePost packages a finished run's registry and (optional) stream.
+func (c Config) observePost(m *machine.Machine, col *trace.Collector, label string) *runObservation {
+	if c.Observe == nil {
+		return nil
+	}
+	o := &runObservation{reg: m.Metrics()}
+	if col != nil {
+		o.stream = col.Stream(label)
+	}
+	return o
+}
+
+// absorb merges one run's payload, in the caller's (run) order.
+func (ob *Observation) absorb(o *runObservation) {
+	if ob == nil || o == nil {
+		return
+	}
+	if ob.Metrics == nil {
+		ob.Metrics = metrics.New()
+	}
+	ob.Metrics.Merge(o.reg)
+	if ob.TraceCap > 0 {
+		ob.Streams = append(ob.Streams, o.stream)
+	}
 }
 
 // Quick returns a configuration that runs the full suite in tens of

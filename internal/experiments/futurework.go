@@ -46,9 +46,14 @@ func FutureWork(cfg Config) FutureWorkResult {
 		jobs = append(jobs, job{nodes, false}, job{nodes, true})
 	}
 	// Run 0 is the sequential CG baseline; runs 1.. are the jobs above.
-	runs, panics := runner.Map(cfg.parOpts(), len(jobs)+1, func(i int) machine.Result {
+	type fwRun struct {
+		result machine.Result
+		obs    *runObservation
+	}
+	runs, panics := runner.Map(cfg.parOpts(), len(jobs)+1, func(i int) fwRun {
 		if i == 0 {
-			return runOne(cfg, npb.CG, npb.Seq, 1, false).result
+			r := runOne(cfg, npb.CG, npb.Seq, 1, false)
+			return fwRun{result: r.result, obs: r.obs}
 		}
 		j := jobs[i-1]
 		w, err := npb.Build(npb.Options{
@@ -68,14 +73,20 @@ func FutureWork(cfg Config) FutureWorkResult {
 			Multicast:  true,
 			UpdateMode: w.UpdateMode,
 		})
-		return m.Run(w.Progs)
+		col := cfg.observePre(m)
+		r := m.Run(w.Progs)
+		label := fmt.Sprintf("CG/dsm(2) nodes=%d update=%t", j.nodes, j.update)
+		return fwRun{result: r, obs: cfg.observePost(m, col, label)}
 	})
 	rethrow(panics)
-	seq := runs[0].Time
+	for _, run := range runs {
+		cfg.Observe.absorb(run.obs)
+	}
+	seq := runs[0].result.Time
 	var res FutureWorkResult
 	for i := 0; i < len(jobs); i += 2 {
 		nodes := jobs[i].nodes
-		base, upd := runs[1+i], runs[2+i]
+		base, upd := runs[1+i].result, runs[2+i].result
 		var l3, uw uint64
 		for _, s := range upd.Protocol {
 			l3 += s.L3Hits

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"cenju4/internal/npb"
+	"cenju4/internal/trace"
+)
+
+// observedSweep runs a cheap two-job application sweep with full
+// observation at the given parallelism and renders the merged registry
+// and trace export.
+func observedSweep(t *testing.T, parallel int) (report, traceJSON string) {
+	t.Helper()
+	cfg := Config{Scale: 0.02, Iterations: 1, Trials: 10, Seed: 3,
+		Parallel: parallel, Observe: &Observation{TraceCap: 1 << 16}}
+	jobs := []appJob{
+		{app: npb.CG, v: npb.DSM1, nodes: 4, mapped: false},
+		{app: npb.FT, v: npb.DSM2, nodes: 4, mapped: true},
+	}
+	runJobs(cfg, jobs)
+	ob := cfg.Observe
+	if ob.Metrics == nil || ob.Metrics.Len() == 0 {
+		t.Fatal("sweep produced no metrics")
+	}
+	if len(ob.Streams) != len(jobs) {
+		t.Fatalf("streams = %d, want %d", len(ob.Streams), len(jobs))
+	}
+	var j strings.Builder
+	if _, err := trace.WriteChrome(&j, ob.Streams...); err != nil {
+		t.Fatal(err)
+	}
+	return ob.Metrics.Report(), j.String()
+}
+
+// TestObservationParallelEquivalent is the acceptance criterion in
+// miniature: metrics report and trace export byte-identical between
+// -parallel 1 and -parallel 8. Runs under -race in CI.
+func TestObservationParallelEquivalent(t *testing.T) {
+	seqReport, seqTrace := observedSweep(t, 1)
+	parReport, parTrace := observedSweep(t, 8)
+	if seqReport != parReport {
+		t.Errorf("metrics report differs across parallelism:\n--- sequential ---\n%s--- parallel ---\n%s",
+			seqReport, parReport)
+	}
+	if seqTrace != parTrace {
+		t.Error("trace export differs across parallelism")
+	}
+}
+
+// Observation is optional: a nil Observe must not change behavior.
+func TestObservationAbsentIsNoop(t *testing.T) {
+	cfg := Config{Scale: 0.02, Iterations: 1, Parallel: 2}
+	runs := runJobs(cfg, []appJob{{app: npb.CG, v: npb.DSM1, nodes: 4}})
+	if len(runs) != 1 || runs[0].obs != nil {
+		t.Fatal("unobserved run carried an observation payload")
+	}
+}

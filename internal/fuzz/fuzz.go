@@ -8,6 +8,7 @@ import (
 	"cenju4/internal/core"
 	"cenju4/internal/cpu"
 	"cenju4/internal/machine"
+	"cenju4/internal/metrics"
 	"cenju4/internal/runner"
 	"cenju4/internal/sim"
 	"cenju4/internal/topology"
@@ -68,6 +69,9 @@ type Case struct {
 	// Trace attaches a protocol trace collector; on failure the result
 	// carries the delivery trace for the first violating block.
 	Trace bool
+	// Metrics collects the machine's observability registry into the
+	// result regardless of outcome.
+	Metrics bool
 }
 
 func (c Case) String() string {
@@ -94,6 +98,11 @@ type Result struct {
 	ShrinkRuns int
 	ShrunkOps  int
 	TraceDump  string
+	// Metrics is the case's registry (only when Case.Metrics).
+	Metrics *metrics.Registry
+	// Trace is the full protocol event collector (only when Case.Trace);
+	// export it with trace.WriteChrome.
+	Trace *trace.Collector
 }
 
 // Failed reports whether the oracle, validator, or simulator flagged
@@ -119,6 +128,9 @@ type Options struct {
 	MaxShrinkRuns int
 	// Faults forwards injected bugs to every case (self-tests).
 	Faults *core.Faults
+	// CollectMetrics attaches a metrics registry to every case; merge
+	// them with Report.MergedMetrics.
+	CollectMetrics bool
 	// Progress, when set, receives one line per completed case. Lines
 	// are emitted in case order regardless of Parallel.
 	Progress io.Writer
@@ -176,6 +188,7 @@ func Run(o Options) *Report {
 				Pattern: p,
 				Cell:    cell,
 				Faults:  o.Faults,
+				Metrics: o.CollectMetrics,
 			})
 		}
 	}
@@ -251,6 +264,10 @@ func RunOps(c Case, ops [][]cpu.Op) (res *Result) {
 	finish := func() {
 		res.Violations = orc.Violations()
 		res.TotalViolations = orc.total
+		res.Trace = col
+		if c.Metrics {
+			res.Metrics = m.Metrics()
+		}
 		if err := firstInvalid(); err != nil {
 			res.ValidateErr = err.Error()
 		}
@@ -317,6 +334,23 @@ func roundSlice(ops []cpu.Op, r, rounds int) []cpu.Op {
 type Report struct {
 	Options Options
 	Results []*Result
+}
+
+// MergedMetrics merges every case's registry in case order (nil when
+// the sweep did not collect metrics). Case order is independent of
+// Options.Parallel, so the merged report is too.
+func (r *Report) MergedMetrics() *metrics.Registry {
+	var merged *metrics.Registry
+	for _, res := range r.Results {
+		if res.Metrics == nil {
+			continue
+		}
+		if merged == nil {
+			merged = metrics.New()
+		}
+		merged.Merge(res.Metrics)
+	}
+	return merged
 }
 
 // Failed reports whether any case failed.

@@ -52,8 +52,8 @@ func writeResult(w io.Writer, r Result) {
 			s.HomeOverflowHW, s.L3Hits, s.UpdateWrites)
 	}
 	n := r.Network
-	p("net %d %d %d %d %d %d %d %d %d %d\n", n.Messages, n.Deliveries,
-		n.Hops, n.Multicasts, n.Gathers, n.GatherMerges, n.PeakGathers,
-		n.DataMessages, n.ContendedHops, n.MaxPortBacklog)
+	p("net %d %d %d %d %d %d %d %d %d %d %d\n", n.Messages, n.Deliveries,
+		n.Hops, n.Multicasts, n.Replications, n.Gathers, n.GatherMerges,
+		n.PeakGathers, n.DataMessages, n.ContendedHops, n.MaxPortBacklog)
 	p("mpi %d %d %d %d\n", r.MPI.Messages, r.MPI.Bytes, r.MPI.Barriers, r.MPI.AllReduces)
 }

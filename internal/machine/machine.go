@@ -11,6 +11,7 @@ import (
 	"cenju4/internal/cache"
 	"cenju4/internal/core"
 	"cenju4/internal/cpu"
+	"cenju4/internal/metrics"
 	"cenju4/internal/mpi"
 	"cenju4/internal/msg"
 	"cenju4/internal/network"
@@ -204,6 +205,39 @@ func (m *Machine) LatencyHistograms() map[msg.Kind]*stats.Histogram {
 		}
 	}
 	return merged
+}
+
+// MetricsInto assembles the machine's observability registry into reg:
+// simulation counters (virtual end time, events fired), the network's
+// per-stage utilization, every controller's protocol counters and FIFO
+// watermarks, and one latency histogram per transaction kind. Call it
+// after a run; counters add, so one registry can absorb several
+// machines (the experiment harness merges per-run registries in run
+// order).
+func (m *Machine) MetricsInto(reg *metrics.Registry) {
+	reg.Counter("sim/events").Add(m.eng.Fired())
+	reg.Gauge("sim/time-ns").Peak(int64(m.eng.Now()))
+	reg.Gauge("sim/nodes").Peak(int64(m.cfg.Nodes))
+	m.net.MetricsInto(reg)
+	for _, c := range m.ctrls {
+		c.MetricsInto(reg)
+	}
+	lats := m.LatencyHistograms()
+	kinds := make([]msg.Kind, 0, len(lats))
+	for kind := range lats { //cenju4:order-insensitive — keys are sorted below
+		kinds = append(kinds, kind)
+	}
+	slices.Sort(kinds)
+	for _, kind := range kinds {
+		reg.Histogram("latency/" + kind.String()).Merge(lats[kind])
+	}
+}
+
+// Metrics returns a fresh registry populated by MetricsInto.
+func (m *Machine) Metrics() *metrics.Registry {
+	reg := metrics.New()
+	m.MetricsInto(reg)
+	return reg
 }
 
 // Result summarizes one run.

@@ -1,0 +1,68 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+
+	"cenju4/internal/cpu"
+	"cenju4/internal/topology"
+)
+
+// metricsWorkload drives a small mixed shared/private workload with
+// real multicast invalidations and returns the machine's registry.
+func metricsWorkload() ([]string, *strings.Builder) {
+	m := New(Config{Nodes: 16, Multicast: true})
+	a := topology.SharedAddr(0, 0)
+	b := topology.SharedAddr(3, 1)
+	progs := emptyProgs(16)
+	for i := 0; i < 6; i++ {
+		progs[i+1] = progOf(
+			cpu.Op{Kind: cpu.OpLoad, Addr: a},
+			cpu.Op{Kind: cpu.OpStore, Addr: b},
+			cpu.Op{Kind: cpu.OpStore, Addr: a},
+		)
+	}
+	m.Run(progs)
+	reg := m.Metrics()
+	var json strings.Builder
+	if err := reg.WriteJSON(&json); err != nil {
+		panic(err)
+	}
+	return strings.Split(reg.Report(), "\n"), &json
+}
+
+// TestMachineMetricsDeterministic runs the same workload twice and
+// demands byte-identical renderings — the machine-level half of the
+// observability determinism contract.
+func TestMachineMetricsDeterministic(t *testing.T) {
+	r1, j1 := metricsWorkload()
+	r2, j2 := metricsWorkload()
+	if strings.Join(r1, "\n") != strings.Join(r2, "\n") {
+		t.Fatal("Report differs between identical runs")
+	}
+	if j1.String() != j2.String() {
+		t.Fatal("JSON export differs between identical runs")
+	}
+}
+
+func TestMachineMetricsContents(t *testing.T) {
+	report, _ := metricsWorkload()
+	text := strings.Join(report, "\n")
+	for _, want := range []string{
+		"sim/events",
+		"sim/time-ns",
+		"net/messages",
+		"net/replications",
+		"net/stage0/hops",
+		"net/stage0/port-busy-ns",
+		"core/fifo/home-requests",
+		"core/fifo/home-out-overflow",
+		"core/fifo/slave-overflow",
+		"core/requests/read-shared",
+		"latency/read-shared",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("report missing %q:\n%s", want, text)
+		}
+	}
+}

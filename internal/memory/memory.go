@@ -96,6 +96,10 @@ func NewQueue[T any](name string, capacity, entryBits int) *Queue[T] {
 	return &Queue[T]{name: name, capacity: capacity, entryBits: entryBits}
 }
 
+// Name returns the queue's configured name — the key the metrics
+// layer reports its watermarks under.
+func (q *Queue[T]) Name() string { return q.name }
+
 // Len returns the number of queued entries.
 func (q *Queue[T]) Len() int { return len(q.entries) - q.head }
 

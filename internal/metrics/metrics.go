@@ -1,0 +1,265 @@
+// Package metrics is the simulator's deterministic observability
+// registry: named counters, gauges with high-water marks, and the
+// log-bucketed latency histograms of internal/stats, collected from
+// the hot layers (network switch ports, the memory-resident protocol
+// FIFOs, per-kind transaction latencies) at snapshot points.
+//
+// Everything here is built for the repo's reproducibility contract
+// rather than for live scraping: a registry is owned by one goroutine,
+// all values are integers or stats.Histograms on the engine's virtual
+// clock (never the wall clock — the simtime analyzer enforces it), and
+// both renderings (Report text and WriteJSON) iterate names in sorted
+// order, so the same simulation produces byte-identical reports. Per-run
+// registries from a runner.Map sweep merge in run-index order
+// (Registry.Merge), which keeps the merged report byte-identical at
+// every -parallel setting. The package is in the determinism analyzer's
+// simulation scope.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"slices"
+	"strings"
+
+	"cenju4/internal/sim"
+	"cenju4/internal/stats"
+)
+
+// Counter is a monotonically increasing event count.
+type Counter struct {
+	v uint64
+}
+
+// Add increases the counter by n.
+func (c *Counter) Add(n uint64) { c.v += n }
+
+// Inc increases the counter by one.
+func (c *Counter) Inc() { c.v++ }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v }
+
+// Gauge is an instantaneous level with a high-water mark — the shape of
+// every occupancy measurement in the machine (FIFO depths, active
+// gather groups, port backlogs).
+type Gauge struct {
+	v  int64
+	hw int64
+}
+
+// Set records the current level and raises the high-water mark.
+func (g *Gauge) Set(v int64) {
+	g.v = v
+	if v > g.hw {
+		g.hw = v
+	}
+}
+
+// Add moves the level by d (negative to drain).
+func (g *Gauge) Add(d int64) { g.Set(g.v + d) }
+
+// Peak records an observed peak: the level and high-water mark both
+// rise to at least v, neither falls. Instrumentation that aggregates
+// per-node watermarks into one gauge uses this so the result is the
+// maximum regardless of visit order.
+func (g *Gauge) Peak(v int64) {
+	if v > g.v {
+		g.v = v
+	}
+	if v > g.hw {
+		g.hw = v
+	}
+}
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.v }
+
+// HighWater returns the maximum level ever set.
+func (g *Gauge) HighWater() int64 { return g.hw }
+
+// Registry holds named metrics. The zero value is not usable; create
+// registries with New. A registry is single-goroutine like the engine
+// it observes; parallel sweeps give every run its own registry and
+// merge afterwards.
+type Registry struct {
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*stats.Histogram
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*stats.Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it at zero on first use.
+func (r *Registry) Counter(name string) *Counter {
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it at zero on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it empty on first
+// use.
+func (r *Registry) Histogram(name string) *stats.Histogram {
+	h := r.hists[name]
+	if h == nil {
+		h = &stats.Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Merge folds other into r: counters add, gauges keep the maximum of
+// both level and high-water mark (cross-run watermark semantics), and
+// histograms merge bucket-wise. Merging per-run registries in run-index
+// order yields the same registry regardless of how the runs were
+// scheduled.
+func (r *Registry) Merge(other *Registry) {
+	for name, c := range other.counters { //cenju4:order-insensitive — counter addition commutes
+		r.Counter(name).Add(c.v)
+	}
+	for name, g := range other.gauges { //cenju4:order-insensitive — max-merge commutes
+		dst := r.Gauge(name)
+		if g.v > dst.v {
+			dst.v = g.v
+		}
+		if g.hw > dst.hw {
+			dst.hw = g.hw
+		}
+	}
+	for name, h := range other.hists { //cenju4:order-insensitive — bucket addition commutes
+		r.Histogram(name).Merge(h)
+	}
+}
+
+// names returns the sorted union of all metric names.
+func (r *Registry) names() []string {
+	out := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for name := range r.counters { //cenju4:order-insensitive — sorted below
+		out = append(out, name)
+	}
+	for name := range r.gauges { //cenju4:order-insensitive — sorted below
+		out = append(out, name)
+	}
+	for name := range r.hists { //cenju4:order-insensitive — sorted below
+		out = append(out, name)
+	}
+	slices.Sort(out)
+	return out
+}
+
+// Len returns the number of registered metrics.
+func (r *Registry) Len() int { return len(r.counters) + len(r.gauges) + len(r.hists) }
+
+// Report renders the registry as sorted "kind name value" lines —
+// byte-identical for equal registries regardless of insertion order.
+func (r *Registry) Report() string {
+	var b strings.Builder
+	for _, name := range r.names() {
+		switch {
+		case r.counters[name] != nil:
+			fmt.Fprintf(&b, "counter    %-44s %d\n", name, r.counters[name].v)
+		case r.gauges[name] != nil:
+			g := r.gauges[name]
+			fmt.Fprintf(&b, "gauge      %-44s value=%d highwater=%d\n", name, g.v, g.hw)
+		default:
+			h := r.hists[name]
+			fmt.Fprintf(&b, "histogram  %-44s n=%d mean=%.0fns p50<=%d p99<=%d max=%d\n",
+				name, h.Count(), h.Mean(), uint64(h.Percentile(50)), uint64(h.Percentile(99)), uint64(h.Max()))
+		}
+	}
+	return b.String()
+}
+
+// WriteJSON writes the registry as canonical JSON: three top-level
+// objects ("counters", "gauges", "histograms") with keys in sorted
+// order, integer values only, and histogram buckets as [index, count]
+// pairs. The serialization is hand-rolled so the byte stream depends
+// only on the registry contents — the golden-digest tests compare
+// exports byte for byte.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("{\n  \"counters\": {")
+	first := true
+	for _, name := range r.names() {
+		c := r.counters[name]
+		if c == nil {
+			continue
+		}
+		writeSep(&b, &first)
+		fmt.Fprintf(&b, "    %q: %d", name, c.v)
+	}
+	closeObj(&b, first)
+	b.WriteString(",\n  \"gauges\": {")
+	first = true
+	for _, name := range r.names() {
+		g := r.gauges[name]
+		if g == nil {
+			continue
+		}
+		writeSep(&b, &first)
+		fmt.Fprintf(&b, "    %q: {\"value\": %d, \"highwater\": %d}", name, g.v, g.hw)
+	}
+	closeObj(&b, first)
+	b.WriteString(",\n  \"histograms\": {")
+	first = true
+	for _, name := range r.names() {
+		h := r.hists[name]
+		if h == nil {
+			continue
+		}
+		writeSep(&b, &first)
+		fmt.Fprintf(&b, "    %q: {\"count\": %d, \"sum\": %d, \"min\": %d, \"max\": %d, \"p50\": %d, \"p99\": %d, \"buckets\": [",
+			name, h.Count(), h.Sum(), uint64(h.Min()), uint64(h.Max()),
+			uint64(h.Percentile(50)), uint64(h.Percentile(99)))
+		firstBucket := true
+		h.EachBucket(func(i int, lo, hi sim.Time, count uint64) {
+			if !firstBucket {
+				b.WriteString(", ")
+			}
+			firstBucket = false
+			fmt.Fprintf(&b, "[%d, %d]", i, count)
+		})
+		b.WriteString("]}")
+	}
+	closeObj(&b, first)
+	b.WriteString("\n}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeSep(b *strings.Builder, first *bool) {
+	if *first {
+		b.WriteString("\n")
+	} else {
+		b.WriteString(",\n")
+	}
+	*first = false
+}
+
+func closeObj(b *strings.Builder, empty bool) {
+	if empty {
+		b.WriteString("}")
+	} else {
+		b.WriteString("\n  }")
+	}
+}

@@ -1,0 +1,190 @@
+package metrics
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+
+	"cenju4/internal/sim"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := New()
+	r.Counter("a").Inc()
+	r.Counter("a").Add(4)
+	if got := r.Counter("a").Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("q")
+	g.Set(3)
+	g.Add(2)
+	g.Add(-4)
+	if g.Value() != 1 || g.HighWater() != 5 {
+		t.Fatalf("gauge value/hw = %d/%d, want 1/5", g.Value(), g.HighWater())
+	}
+	g.Set(-2)
+	if g.Value() != -2 || g.HighWater() != 5 {
+		t.Fatal("Set lowered the high-water mark")
+	}
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", r.Len())
+	}
+}
+
+func TestGetOrCreateReturnsSameInstance(t *testing.T) {
+	r := New()
+	if r.Counter("x") != r.Counter("x") {
+		t.Fatal("Counter not idempotent")
+	}
+	if r.Gauge("x") != r.Gauge("x") {
+		t.Fatal("Gauge not idempotent")
+	}
+	if r.Histogram("x") != r.Histogram("x") {
+		t.Fatal("Histogram not idempotent")
+	}
+}
+
+// Report and WriteJSON must not depend on insertion order.
+func TestRenderingInsertionOrderIndependent(t *testing.T) {
+	names := []string{"alpha", "beta", "gamma", "delta"}
+	build := func(order []int) *Registry {
+		r := New()
+		for _, i := range order {
+			n := names[i]
+			r.Counter("c/" + n).Add(uint64(len(n)))
+			r.Gauge("g/" + n).Set(int64(i))
+			r.Histogram("h/" + n).Add(1 << uint(i))
+		}
+		return r
+	}
+	fwd := build([]int{0, 1, 2, 3})
+	rev := build([]int{3, 2, 1, 0})
+	if fwd.Report() == "" {
+		t.Fatal("empty report")
+	}
+	if fwd.Report() != rev.Report() {
+		t.Fatalf("Report depends on insertion order:\n%s\nvs\n%s", fwd.Report(), rev.Report())
+	}
+	var a, b strings.Builder
+	if err := fwd.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := rev.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("JSON depends on insertion order:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}
+
+func TestWriteJSONIsValidJSON(t *testing.T) {
+	r := New()
+	r.Counter("net/messages").Add(12)
+	r.Gauge("core/queue/home-requests/depth").Set(3)
+	h := r.Histogram("latency/ReadShared")
+	h.Add(100)
+	h.Add(100000)
+	var b strings.Builder
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var parsed map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &parsed); err != nil {
+		t.Fatalf("WriteJSON output does not parse: %v\n%s", err, b.String())
+	}
+	for _, key := range []string{"counters", "gauges", "histograms"} {
+		if _, ok := parsed[key]; !ok {
+			t.Fatalf("missing top-level %q in %s", key, b.String())
+		}
+	}
+	// Empty registry still parses.
+	var e strings.Builder
+	if err := New().WriteJSON(&e); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(e.String()), &parsed); err != nil {
+		t.Fatalf("empty WriteJSON does not parse: %v\n%s", err, e.String())
+	}
+}
+
+func TestMergeSemantics(t *testing.T) {
+	a := New()
+	a.Counter("c").Add(2)
+	a.Gauge("g").Set(10)
+	a.Gauge("g").Set(1) // hw 10, value 1
+	a.Histogram("h").Add(100)
+
+	b := New()
+	b.Counter("c").Add(3)
+	b.Counter("only-b").Inc()
+	b.Gauge("g").Set(4) // hw 4, value 4
+	b.Histogram("h").Add(200)
+
+	a.Merge(b)
+	if got := a.Counter("c").Value(); got != 5 {
+		t.Fatalf("merged counter = %d, want 5", got)
+	}
+	if got := a.Counter("only-b").Value(); got != 1 {
+		t.Fatalf("merged only-b = %d, want 1", got)
+	}
+	if g := a.Gauge("g"); g.Value() != 4 || g.HighWater() != 10 {
+		t.Fatalf("merged gauge value/hw = %d/%d, want 4/10", g.Value(), g.HighWater())
+	}
+	if got := a.Histogram("h").Count(); got != 2 {
+		t.Fatalf("merged histogram count = %d, want 2", got)
+	}
+}
+
+// perRun builds the registry run i of a simulated sweep would produce.
+func perRun(i int) *Registry {
+	r := New()
+	r.Counter("runs").Inc()
+	r.Counter("events").Add(uint64(100 + i*7))
+	r.Gauge("queue/depth").Set(int64(i % 5))
+	r.Gauge("queue/depth").Set(0)
+	r.Histogram("latency").Add(sim.Time(50 + i*13))
+	return r
+}
+
+// TestSequentialParallelMergeEquivalent is the registry half of the
+// acceptance criterion "-parallel 1 and -parallel N reports are
+// byte-identical": per-run registries merged in run-index order give
+// the same bytes no matter which goroutine produced each run. Run
+// under -race in CI.
+func TestSequentialParallelMergeEquivalent(t *testing.T) {
+	const runs = 16
+	seq := New()
+	for i := 0; i < runs; i++ {
+		seq.Merge(perRun(i))
+	}
+
+	regs := make([]*Registry, runs)
+	var wg sync.WaitGroup
+	for i := 0; i < runs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			regs[i] = perRun(i)
+		}(i)
+	}
+	wg.Wait()
+	par := New()
+	for _, r := range regs {
+		par.Merge(r)
+	}
+
+	if seq.Report() != par.Report() {
+		t.Fatalf("reports diverge:\n--- sequential\n%s--- parallel\n%s", seq.Report(), par.Report())
+	}
+	var sj, pj strings.Builder
+	if err := seq.WriteJSON(&sj); err != nil {
+		t.Fatal(err)
+	}
+	if err := par.WriteJSON(&pj); err != nil {
+		t.Fatal(err)
+	}
+	if sj.String() != pj.String() {
+		t.Fatal("JSON exports diverge between sequential and parallel merge")
+	}
+}

@@ -41,6 +41,7 @@ import (
 	"fmt"
 
 	"cenju4/internal/directory"
+	"cenju4/internal/metrics"
 	"cenju4/internal/msg"
 	"cenju4/internal/sim"
 	"cenju4/internal/timing"
@@ -85,10 +86,14 @@ func (c Config) withDefaults() Config {
 
 // Stats aggregates network activity counters.
 type Stats struct {
-	Messages     uint64 // Send calls
-	Deliveries   uint64 // endpoint deliveries (multicast copies count individually)
-	Hops         uint64 // switch traversals
-	Multicasts   uint64 // multicast Send calls
+	Messages   uint64 // Send calls
+	Deliveries uint64 // endpoint deliveries (multicast copies count individually)
+	Hops       uint64 // switch traversals
+	Multicasts uint64 // multicast Send calls
+	// Replications counts extra message copies fanned out into crosspoint
+	// buffers by the multicast function (copies beyond the first at each
+	// switch — each one occupies a replication slot).
+	Replications uint64
 	Gathers      uint64 // gather groups allocated
 	GatherMerges uint64 // replies absorbed inside the network
 	PeakGathers  int    // peak concurrently active gather groups
@@ -124,6 +129,14 @@ type Network struct {
 	handlers []Handler
 	stats    Stats
 
+	// Per-stage accumulators behind Network.MetricsInto: total time the
+	// stage's output ports were held (serialization reservations) and
+	// switch traversals through the stage.
+	stageBusy  []sim.Time
+	stageHops  []uint64
+	injectBusy sim.Time // summed injection-port hold time, all nodes
+	ejectBusy  sim.Time // summed ejection-port hold time, all nodes
+
 	nextGatherID  uint64
 	activeGathers int
 }
@@ -150,6 +163,9 @@ func New(eng *sim.Engine, cfg Config) *Network {
 		inject:   make([]sim.Time, cfg.Nodes),
 		eject:    make([]sim.Time, cfg.Nodes),
 		handlers: make([]Handler, cfg.Nodes),
+
+		stageBusy: make([]sim.Time, cfg.Stages),
+		stageHops: make([]uint64, cfg.Stages),
 	}
 	return n
 }
@@ -223,13 +239,17 @@ func (n *Network) walkUnicast(src, dst int, t sim.Time, data bool) sim.Time {
 	p := n.cfg.Params
 	hop, ser := n.hopSer(data)
 	t = n.claim(&n.inject[src], t, ser) + p.NetFixed/2
+	n.injectBusy += ser
 	for k := 0; k < n.stages; k++ {
 		sw := n.switchFor(k, src, dst)
 		port := n.digit(dst, k)
 		start := n.claim(&sw.portBusy[port], t, ser)
 		t = start + hop
 		n.stats.Hops++
+		n.stageBusy[k] += ser
+		n.stageHops[k]++
 	}
+	n.ejectBusy += ser
 	return n.claim(&n.eject[dst], t, ser) + p.NetFixed/2
 }
 
@@ -318,6 +338,7 @@ func (n *Network) walkMulticast(m *msg.Message, t sim.Time) {
 	p := n.cfg.Params
 	_, ser := n.hopSer(m.HasData)
 	start := n.claim(&n.inject[int(m.Src)], t, ser)
+	n.injectBusy += ser
 	n.mcStep(m, 0, 0, start+p.NetFixed/2)
 }
 
@@ -330,6 +351,7 @@ func (n *Network) mcStep(m *msg.Message, k, prefix int, t sim.Time) {
 		}
 		_, ser := n.hopSer(m.HasData)
 		arr := n.claim(&n.eject[int(node)], t, ser) + p.NetFixed/2
+		n.ejectBusy += ser
 		cp := n.cfg.Pool.Clone(m)
 		cp.Dest = directory.Single(node)
 		n.deliver(cp, node, arr)
@@ -345,6 +367,11 @@ func (n *Network) mcStep(m *msg.Message, k, prefix int, t sim.Time) {
 		depart := t + sim.Time(copyIdx)*p.ReplicateSlot
 		start := n.claim(&sw.portBusy[d], depart, ser)
 		n.stats.Hops++
+		n.stageBusy[k] += ser
+		n.stageHops[k]++
+		if copyIdx > 0 {
+			n.stats.Replications++
+		}
 		n.mcStep(m, k+1, prefix<<2|d, start+hop)
 		copyIdx++
 	}
@@ -410,6 +437,7 @@ func (n *Network) walkGather(m *msg.Message, t sim.Time) {
 	}
 	src, home := int(m.Src), int(g.Home)
 	t = n.claim(&n.inject[src], t, ser) + p.NetFixed/2
+	n.injectBusy += ser
 	merged := g.Merged
 	for k := 0; k < n.stages; k++ {
 		sw := n.switchFor(k, src, home)
@@ -442,11 +470,46 @@ func (n *Network) walkGather(m *msg.Message, t sim.Time) {
 		start := n.claim(&sw.portBusy[port], t, ser)
 		t = start + hop
 		n.stats.Hops++
+		n.stageBusy[k] += ser
+		n.stageHops[k]++
 	}
+	n.ejectBusy += ser
 	t = n.claim(&n.eject[home], t, ser) + p.NetFixed/2
 	g.Merged = merged
 	n.activeGathers--
 	n.deliver(m, topology.NodeID(home), t)
+}
+
+// MetricsInto records the network's activity counters and per-stage
+// output-port utilization into reg under the "net/" prefix. Utilization
+// is reported in permille of stage port-time (ports × elapsed virtual
+// time), using the engine's current virtual clock — call it at the end
+// of a run.
+func (n *Network) MetricsInto(reg *metrics.Registry) {
+	s := n.stats
+	reg.Counter("net/messages").Add(s.Messages)
+	reg.Counter("net/deliveries").Add(s.Deliveries)
+	reg.Counter("net/hops").Add(s.Hops)
+	reg.Counter("net/multicasts").Add(s.Multicasts)
+	reg.Counter("net/replications").Add(s.Replications)
+	reg.Counter("net/gathers").Add(s.Gathers)
+	reg.Counter("net/gather-merges").Add(s.GatherMerges)
+	reg.Counter("net/data-messages").Add(s.DataMessages)
+	reg.Counter("net/contended-hops").Add(s.ContendedHops)
+	reg.Gauge("net/peak-gathers").Set(int64(s.PeakGathers))
+	reg.Gauge("net/max-port-backlog-ns").Set(int64(s.MaxPortBacklog))
+	elapsed := n.eng.Now()
+	for k := 0; k < n.stages; k++ {
+		reg.Counter(fmt.Sprintf("net/stage%d/hops", k)).Add(n.stageHops[k])
+		reg.Counter(fmt.Sprintf("net/stage%d/port-busy-ns", k)).Add(uint64(n.stageBusy[k]))
+		if elapsed > 0 {
+			portTime := uint64(elapsed) * uint64(n.perStage) * topology.SwitchRadix
+			reg.Gauge(fmt.Sprintf("net/stage%d/util-permille", k)).
+				Set(int64(uint64(n.stageBusy[k]) * 1000 / portTime))
+		}
+	}
+	reg.Counter("net/inject-busy-ns").Add(uint64(n.injectBusy))
+	reg.Counter("net/eject-busy-ns").Add(uint64(n.ejectBusy))
 }
 
 // UncontendedLatency returns the zero-load latency of one traversal —

@@ -13,25 +13,46 @@ import (
 	"cenju4/internal/sim"
 )
 
-// Histogram is a log2-bucketed latency histogram: bucket i counts
-// samples in [2^i, 2^(i+1)) nanoseconds. Cheap enough to sit on every
-// transaction path.
+// Histogram is a log2-bucketed latency histogram: bucket 0 counts
+// samples in [0, 2), bucket i counts samples in [2^i, 2^(i+1))
+// nanoseconds, and the last bucket additionally absorbs everything at
+// or above 2^40 ns (~18 min — far beyond any simulated latency). Cheap
+// enough to sit on every transaction path.
 type Histogram struct {
-	buckets [40]uint64 // up to ~550 s
+	buckets [40]uint64
 	count   uint64
 	sum     uint64
 	max     uint64
 	min     uint64
 }
 
+// bucketIndex maps a sample to its bucket per the type comment.
+func bucketIndex(v uint64) int {
+	b := bits.Len64(v) // floor(log2(v)) + 1 for v > 0
+	if b > 0 {
+		b--
+	}
+	if b >= numBuckets {
+		b = numBuckets - 1
+	}
+	return b
+}
+
+const numBuckets = 40
+
+// bucketBounds returns bucket i's half-open range [lo, hi). The top
+// bucket's hi is its nominal edge; samples beyond it are clamped in.
+func bucketBounds(i int) (lo, hi uint64) {
+	if i > 0 {
+		lo = 1 << uint(i)
+	}
+	return lo, 1 << uint(i+1)
+}
+
 // Add records one sample.
 func (h *Histogram) Add(t sim.Time) {
 	v := uint64(t)
-	b := bits.Len64(v)
-	if b >= len(h.buckets) {
-		b = len(h.buckets) - 1
-	}
-	h.buckets[b]++
+	h.buckets[bucketIndex(v)]++
 	h.count++
 	h.sum += v
 	if v > h.max {
@@ -44,6 +65,9 @@ func (h *Histogram) Add(t sim.Time) {
 
 // Count returns the number of samples.
 func (h *Histogram) Count() uint64 { return h.count }
+
+// Sum returns the total of all samples in nanoseconds.
+func (h *Histogram) Sum() uint64 { return h.sum }
 
 // Mean returns the average sample, 0 if empty.
 func (h *Histogram) Mean() float64 {
@@ -80,7 +104,7 @@ func (h *Histogram) Percentile(p float64) sim.Time {
 	for i, c := range h.buckets {
 		cum += c
 		if cum >= target {
-			edge := uint64(1) << uint(i)
+			_, edge := bucketBounds(i)
 			if edge > h.max {
 				edge = h.max
 			}
@@ -105,6 +129,18 @@ func (h *Histogram) Merge(other *Histogram) {
 	h.sum += other.sum
 	if other.max > h.max {
 		h.max = other.max
+	}
+}
+
+// EachBucket invokes fn for every non-empty bucket in ascending order
+// with the bucket's index, half-open bounds [lo, hi) and count. The
+// deterministic metrics exporters serialize histograms through it.
+func (h *Histogram) EachBucket(fn func(i int, lo, hi sim.Time, count uint64)) {
+	for i, c := range h.buckets {
+		if c != 0 {
+			lo, hi := bucketBounds(i)
+			fn(i, sim.Time(lo), sim.Time(hi), c)
+		}
 	}
 }
 
@@ -140,7 +176,8 @@ func (h *Histogram) Bars(width int) string {
 		if n == 0 {
 			n = 1
 		}
-		fmt.Fprintf(&b, "%10v %s %d\n", sim.Time(uint64(1)<<uint(i)), strings.Repeat("#", n), c)
+		lo, _ := bucketBounds(i)
+		fmt.Fprintf(&b, "%10v %s %d\n", sim.Time(lo), strings.Repeat("#", n), c)
 	}
 	return b.String()
 }

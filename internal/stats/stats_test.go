@@ -114,6 +114,129 @@ func TestBars(t *testing.T) {
 	}
 }
 
+// TestBucketEdges pins the documented bucket semantics exactly: bucket
+// 0 holds [0, 2), bucket i holds [2^i, 2^(i+1)), and only samples at or
+// above 2^40 clamp into the top bucket. This is the regression test for
+// the bits.Len64 off-by-one that left bucket 0 unreachable for v > 0
+// and folded the top two decades together.
+func TestBucketEdges(t *testing.T) {
+	bucketOf := func(v uint64) int {
+		var h Histogram
+		h.Add(sim.Time(v))
+		for i, c := range h.buckets {
+			if c != 0 {
+				return i
+			}
+		}
+		t.Fatalf("Add(%d) recorded no bucket", v)
+		return -1
+	}
+	if got := bucketOf(0); got != 0 {
+		t.Errorf("bucket(0) = %d, want 0", got)
+	}
+	if got := bucketOf(1); got != 0 {
+		t.Errorf("bucket(1) = %d, want 0", got)
+	}
+	for i := 1; i < 63; i++ {
+		want := i
+		if want > numBuckets-1 {
+			want = numBuckets - 1
+		}
+		if got := bucketOf(uint64(1) << uint(i)); got != want {
+			t.Errorf("bucket(2^%d) = %d, want %d", i, got, want)
+		}
+		// 2^i - 1 is the last value of the previous bucket.
+		wantBelow := i - 1
+		if wantBelow > numBuckets-1 {
+			wantBelow = numBuckets - 1
+		}
+		if got := bucketOf(uint64(1)<<uint(i) - 1); got != wantBelow {
+			t.Errorf("bucket(2^%d-1) = %d, want %d", i, got, wantBelow)
+		}
+	}
+	// The top two decades stay separate: 2^38 and 2^39 land in distinct
+	// buckets (the old clamp folded both into bucket 39).
+	if b38, b39 := bucketOf(1<<38), bucketOf(1<<39); b38 == b39 {
+		t.Errorf("2^38 and 2^39 share bucket %d; the top decades must stay distinct", b38)
+	}
+	if lo, hi := bucketBounds(0); lo != 0 || hi != 2 {
+		t.Errorf("bucketBounds(0) = [%d, %d), want [0, 2)", lo, hi)
+	}
+	if lo, hi := bucketBounds(7); lo != 128 || hi != 256 {
+		t.Errorf("bucketBounds(7) = [%d, %d), want [128, 256)", lo, hi)
+	}
+}
+
+// TestAddPercentileBarsAgree drives one sample through all three views
+// and checks they name the same bucket edges.
+func TestAddPercentileBarsAgree(t *testing.T) {
+	var h Histogram
+	h.Add(5) // bucket 2 = [4, 8)
+	if h.buckets[2] != 1 {
+		t.Fatalf("Add(5) landed outside bucket [4,8): %v", h.buckets[:4])
+	}
+	// Percentile reports the bucket's top edge, clamped to the max.
+	if got := h.Percentile(100); got != 5 {
+		t.Errorf("p100 = %v, want clamped max 5", got)
+	}
+	h.Add(6)
+	h.Add(7)
+	if got := h.Percentile(100); got != 7 {
+		t.Errorf("p100 = %v, want 7", got)
+	}
+	// Bars labels the bucket with its lower edge.
+	if out := h.Bars(10); !strings.Contains(out, "4ns") {
+		t.Errorf("Bars() = %q, want the [4,8) bucket labeled 4ns", out)
+	}
+	var z Histogram
+	z.Add(0)
+	if out := z.Bars(10); !strings.Contains(out, "0ns") {
+		t.Errorf("Bars() = %q, want the [0,2) bucket labeled 0ns", out)
+	}
+}
+
+// TestMergeZeroValueTable audits Merge/Min zero-value interactions: an
+// empty histogram merged in either direction must not perturb counts,
+// minima or buckets, and a genuine 0ns sample must survive merging.
+func TestMergeZeroValueTable(t *testing.T) {
+	sample := func(vs ...sim.Time) *Histogram {
+		h := &Histogram{}
+		for _, v := range vs {
+			h.Add(v)
+		}
+		return h
+	}
+	cases := []struct {
+		name     string
+		dst, src *Histogram
+		count    uint64
+		min, max sim.Time
+		sum      uint64
+	}{
+		{"empty into empty", sample(), sample(), 0, 0, 0, 0},
+		{"empty into nonempty", sample(100, 200), sample(), 2, 100, 200, 300},
+		{"nonempty into empty", sample(), sample(100, 200), 2, 100, 200, 300},
+		{"zero-sample src wins min", sample(5), sample(0), 2, 0, 5, 5},
+		{"zero-sample dst keeps min", sample(0), sample(5), 2, 0, 5, 5},
+		{"disjoint ranges", sample(1, 2), sample(1 << 20), 3, 1, 1 << 20, 3 + 1<<20},
+	}
+	for _, c := range cases {
+		c.dst.Merge(c.src)
+		if c.dst.Count() != c.count || c.dst.Min() != c.min || c.dst.Max() != c.max || c.dst.Sum() != c.sum {
+			t.Errorf("%s: count/min/max/sum = %d/%v/%v/%d, want %d/%v/%v/%d",
+				c.name, c.dst.Count(), c.dst.Min(), c.dst.Max(), c.dst.Sum(),
+				c.count, c.min, c.max, c.sum)
+		}
+		var total uint64
+		for _, b := range c.dst.buckets {
+			total += b
+		}
+		if total != c.count {
+			t.Errorf("%s: bucket total %d disagrees with count %d", c.name, total, c.count)
+		}
+	}
+}
+
 func TestHugeSampleClamped(t *testing.T) {
 	var h Histogram
 	h.Add(sim.Time(1) << 60)

@@ -3,6 +3,7 @@
 package trace
 
 import (
+	"strings"
 	"testing"
 
 	"cenju4/internal/core"
@@ -33,6 +34,11 @@ func (r *rig) access(t *testing.T, node topology.NodeID, addr topology.Addr, sto
 	r.m.Engine().Run()
 	if !done {
 		t.Fatal("access did not complete")
+	}
+	// A truncated collection would silently pass any sequence assertion
+	// whose tail fell beyond the bound — fail loudly instead.
+	if d := r.col.Dropped(); d > 0 {
+		t.Fatalf("trace collector dropped %d events; conformance assertions need the full stream", d)
 	}
 }
 
@@ -185,6 +191,9 @@ func TestSequenceUpdateWrite(t *testing.T) {
 	if got := Kinds(col.Deliveries(block)); !kindsEqual(got, want) {
 		t.Fatalf("sequence = %v, want %v\n%s", got, want, col)
 	}
+	if d := col.Dropped(); d > 0 {
+		t.Fatalf("trace collector dropped %d events; conformance assertions need the full stream", d)
+	}
 }
 
 func TestCollectorBoundsAndReset(t *testing.T) {
@@ -194,6 +203,10 @@ func TestCollectorBoundsAndReset(t *testing.T) {
 	}
 	if col.Len() != 3 || col.Dropped() != 2 {
 		t.Fatalf("len=%d dropped=%d", col.Len(), col.Dropped())
+	}
+	// A lossy collection must say so in every rendering.
+	if s := col.String(); !strings.Contains(s, "truncated") || !strings.Contains(s, "2 events dropped") {
+		t.Fatalf("String() of a truncated collection does not surface the loss:\n%s", s)
 	}
 	col.Reset()
 	if col.Len() != 0 || col.Dropped() != 0 {

@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"cenju4/internal/core"
+	"cenju4/internal/machine"
+	"cenju4/internal/sim"
+	"cenju4/internal/topology"
+)
+
+// runTraced drives a small deterministic workload and returns the
+// collected stream.
+func runTraced(t *testing.T) Stream {
+	t.Helper()
+	m := machine.New(machine.Config{Nodes: 8, Multicast: true})
+	col := NewCollector(0)
+	m.SetTracer(col.Tracer())
+	for i := 0; i < 6; i++ {
+		node := topology.NodeID(1 + i%4)
+		m.Controller(node).Request(topology.SharedAddr(0, uint64(i%3)), i%2 == 0, func() {})
+	}
+	m.Engine().Run()
+	if col.Len() == 0 {
+		t.Fatal("no events collected")
+	}
+	return col.Stream("run")
+}
+
+// TestWriteChromeGoldenDigest is the export half of the acceptance
+// criterion: the same workload exported twice produces byte-identical,
+// Perfetto-loadable JSON with more than zero events.
+func TestWriteChromeGoldenDigest(t *testing.T) {
+	var a, b strings.Builder
+	if _, err := WriteChrome(&a, runTraced(t)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WriteChrome(&b, runTraced(t)); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("same workload exported twice differs byte-wise")
+	}
+	var parsed struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(a.String()), &parsed); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	events := 0
+	for _, ev := range parsed.TraceEvents {
+		if ev["ph"] == "i" {
+			events++
+		}
+	}
+	if events == 0 {
+		t.Fatal("export contains no instant events")
+	}
+	// Virtual time only: no key of any record may be a wall-clock field.
+	if strings.Contains(a.String(), "\"wall\"") {
+		t.Fatal("wall-clock field in export")
+	}
+}
+
+func TestWriteChromeMultiStreamPids(t *testing.T) {
+	var b strings.Builder
+	s := runTraced(t)
+	s2 := runTraced(t)
+	s2.Label = "second"
+	if _, err := WriteChrome(&b, s, s2); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &parsed); err != nil {
+		t.Fatal(err)
+	}
+	pids := map[float64]bool{}
+	for _, ev := range parsed.TraceEvents {
+		pids[ev["pid"].(float64)] = true
+	}
+	if !pids[1] || !pids[2] {
+		t.Fatalf("streams did not get distinct pids: %v", pids)
+	}
+}
+
+// A truncated stream must carry an explicit loss record and report the
+// drop count to the caller.
+func TestWriteChromeTruncationSurfaced(t *testing.T) {
+	col := NewCollector(2)
+	for i := 0; i < 5; i++ {
+		col.Record(core.TraceEvent{At: sim.Time(i)})
+	}
+	var b strings.Builder
+	dropped, err := WriteChrome(&b, col.Stream("lossy"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 3 {
+		t.Fatalf("dropped = %d, want 3", dropped)
+	}
+	if !strings.Contains(b.String(), "TRACE TRUNCATED: 3 events dropped") {
+		t.Fatalf("no truncation record in export:\n%s", b.String())
+	}
+	if err := json.Unmarshal([]byte(b.String()), &map[string]any{}); err != nil {
+		t.Fatalf("truncated export is not valid JSON: %v", err)
+	}
+}
+
+func TestWriteChromeRejectsDisorderedStream(t *testing.T) {
+	s := Stream{Label: "bad", Events: []core.TraceEvent{
+		{At: sim.Time(10)}, {At: sim.Time(5)},
+	}}
+	if _, err := WriteChrome(&strings.Builder{}, s); err == nil {
+		t.Fatal("out-of-order stream accepted")
+	}
+}

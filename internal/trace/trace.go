@@ -5,6 +5,7 @@
 package trace
 
 import (
+	"fmt"
 	"strings"
 
 	"cenju4/internal/core"
@@ -84,12 +85,18 @@ func Kinds(evs []core.TraceEvent) []msg.Kind {
 	return out
 }
 
-// String renders the retained events one per line.
+// String renders the retained events one per line. A truncated
+// collection says so explicitly: silent drops once skewed every
+// measurement read off a trace, so any rendering of a lossy collection
+// must carry the loss.
 func (c *Collector) String() string {
 	var b strings.Builder
 	for _, ev := range c.events {
 		b.WriteString(ev.String())
 		b.WriteString("\n")
+	}
+	if c.drops > 0 {
+		fmt.Fprintf(&b, "!! trace truncated: %d events dropped beyond the %d-event bound\n", c.drops, c.max)
 	}
 	return b.String()
 }
