@@ -29,7 +29,6 @@ package cenju4
 
 import (
 	"fmt"
-	"strings"
 	"time"
 
 	"cenju4/internal/core"
@@ -316,31 +315,19 @@ func RunNPB(app, variant string, opts WorkloadOptions) (WorkloadResult, error) {
 }
 
 func parseApp(s string) (npb.App, error) {
-	switch strings.ToLower(s) {
-	case "bt":
-		return npb.BT, nil
-	case "cg":
-		return npb.CG, nil
-	case "ft":
-		return npb.FT, nil
-	case "sp":
-		return npb.SP, nil
+	a, err := npb.ParseApp(s)
+	if err != nil {
+		return 0, fmt.Errorf("cenju4: unknown application %q (want bt, cg, ft or sp)", s)
 	}
-	return 0, fmt.Errorf("cenju4: unknown application %q (want bt, cg, ft or sp)", s)
+	return a, nil
 }
 
 func parseVariant(s string) (npb.Variant, error) {
-	switch strings.ToLower(s) {
-	case "seq":
-		return npb.Seq, nil
-	case "mpi":
-		return npb.MPI, nil
-	case "dsm1", "dsm(1)":
-		return npb.DSM1, nil
-	case "dsm2", "dsm(2)":
-		return npb.DSM2, nil
+	v, err := npb.ParseVariant(s)
+	if err != nil {
+		return 0, fmt.Errorf("cenju4: unknown variant %q (want seq, mpi, dsm1 or dsm2)", s)
 	}
-	return 0, fmt.Errorf("cenju4: unknown variant %q (want seq, mpi, dsm1 or dsm2)", s)
+	return v, nil
 }
 
 // ---------------------------------------------------------------------

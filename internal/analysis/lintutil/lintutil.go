@@ -181,4 +181,16 @@ var SimPackages = map[string]bool{
 	// across runs and across -parallel settings.
 	"cenju4/internal/metrics": true,
 	"cenju4/internal/trace":   true,
+
+	// Deliberately NOT listed: cenju4/internal/serve and the cmd/
+	// binaries. The experiment service is wall-clock-legitimate —
+	// request latencies, job timeouts, LRU recency and drain deadlines
+	// are service behavior, not simulation outcomes — so the simtime
+	// analyzer's wall-clock ban would flag exactly the code that is
+	// supposed to read the clock. Its determinism obligation is
+	// narrower and enforced elsewhere: the payload bytes cached for a
+	// digest must be identical wherever they were computed, which
+	// internal/serve's tests and the CI serve-soak job assert directly.
+	// The remaining analyzers (determinism's runner-closure rule,
+	// exhaustiveswitch, enumnames) are module-wide and still cover it.
 }

@@ -1,0 +1,60 @@
+// Package digest provides the repository's canonical content-digest
+// writer: a SHA-256 accumulator fed by explicit formatted fields.
+//
+// Two very different layers key themselves by these digests and both
+// depend on the same stability contract. The golden regression tests
+// (internal/machine, internal/fuzz) compare simulation results by
+// digest across releases, and the cenju4-serve result cache uses a job
+// spec's digest as its content address — two specs share a cache entry
+// exactly when their canonical encodings are byte-identical. An
+// encoding that drifted between builds would silently split the cache
+// keyspace or invalidate every golden file, so the rules are strict:
+//
+//   - fields are written explicitly, one Printf call per field or
+//     record, in declaration order — never via reflection, map
+//     iteration, or %v on a struct;
+//   - only formats whose output is fully determined by the value are
+//     allowed (integers, %q strings, %t bools, floats via %g);
+//   - changing what a caller writes is a deliberate, versioned act:
+//     each caller keeps a golden-stability test pinning a known input
+//     to a known hex digest, so an accidental encoding change breaks a
+//     test instead of shipping.
+package digest
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"hash"
+)
+
+// Writer accumulates canonically encoded fields into a SHA-256 state.
+// The zero value is not usable; create writers with New.
+type Writer struct {
+	h hash.Hash
+}
+
+// New returns an empty digest writer.
+func New() *Writer {
+	return &Writer{h: sha256.New()}
+}
+
+// Printf appends one formatted record to the digest state. Callers
+// write explicit fields in a fixed order; see the package comment for
+// the format rules.
+func (w *Writer) Printf(format string, args ...any) {
+	fmt.Fprintf(w.h, format, args...)
+}
+
+// Write appends raw bytes, satisfying io.Writer so existing
+// field-by-field serializers (machine.Digest's writeResult) can target
+// a Writer directly.
+func (w *Writer) Write(p []byte) (int, error) {
+	return w.h.Write(p)
+}
+
+// Sum returns the lowercase hex SHA-256 of everything written so far.
+// The writer remains usable; further writes extend the same state.
+func (w *Writer) Sum() string {
+	return hex.EncodeToString(w.h.Sum(nil))
+}

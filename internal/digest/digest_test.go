@@ -1,0 +1,98 @@
+package digest
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+)
+
+// TestGoldenStability pins the digest of a fixed field sequence. If
+// this test ever fails without a deliberate encoding-version decision,
+// the change would have split the serve cache keyspace and invalidated
+// the machine golden files.
+func TestGoldenStability(t *testing.T) {
+	w := New()
+	w.Printf("spec app=%q variant=%q nodes=%d\n", "BT", "dsm(2)", 64)
+	w.Printf("scale=%g mapped=%t seed=%d\n", 0.25, true, int64(7))
+	const want = "d3a465c9f76fe4248a375cac95c4d8c183c06a4f9c85f8eb253d7a9fe59fd731"
+	if got := w.Sum(); got != want {
+		t.Fatalf("canonical digest changed:\n got  %s\n want %s", got, want)
+	}
+}
+
+// TestMatchesSha256 checks the writer is plain SHA-256 over the
+// formatted byte stream, nothing cleverer.
+func TestMatchesSha256(t *testing.T) {
+	w := New()
+	w.Printf("a=%d b=%q\n", 42, "x")
+	raw := sha256.Sum256([]byte("a=42 b=\"x\"\n"))
+	if got, want := w.Sum(), hex.EncodeToString(raw[:]); got != want {
+		t.Fatalf("digest = %s, want sha256 of formatted stream %s", got, want)
+	}
+}
+
+// TestSumExtends checks Sum is a checkpoint, not a terminator: writes
+// after a Sum extend the same state (machine.Digest never needs this,
+// but the contract should be explicit).
+func TestSumExtends(t *testing.T) {
+	a := New()
+	a.Printf("one")
+	first := a.Sum()
+	a.Printf("two")
+	b := New()
+	b.Printf("one")
+	b.Printf("two")
+	if a.Sum() == first {
+		t.Fatal("Sum froze the writer: writes after Sum had no effect")
+	}
+	if a.Sum() != b.Sum() {
+		t.Fatalf("interleaved Sum perturbed the state: %s != %s", a.Sum(), b.Sum())
+	}
+}
+
+// TestFieldSensitivity checks every field of a record perturbs the
+// digest: equal prefixes with one differing field must not collide.
+func TestFieldSensitivity(t *testing.T) {
+	base := func() *Writer {
+		w := New()
+		w.Printf("nodes=%d scale=%g mapped=%t\n", 16, 0.05, true)
+		return w
+	}
+	ref := base().Sum()
+	variants := map[string]func() *Writer{
+		"nodes": func() *Writer {
+			w := New()
+			w.Printf("nodes=%d scale=%g mapped=%t\n", 32, 0.05, true)
+			return w
+		},
+		"scale": func() *Writer {
+			w := New()
+			w.Printf("nodes=%d scale=%g mapped=%t\n", 16, 0.06, true)
+			return w
+		},
+		"mapped": func() *Writer {
+			w := New()
+			w.Printf("nodes=%d scale=%g mapped=%t\n", 16, 0.05, false)
+			return w
+		},
+	}
+	for name, build := range variants {
+		if got := build().Sum(); got == ref {
+			t.Errorf("changing %s did not change the digest", name)
+		}
+	}
+}
+
+// TestWriteIsPrintfCompatible checks the io.Writer path and Printf
+// path agree, so serializers can mix Fprintf(w, ...) with w.Printf.
+func TestWriteIsPrintfCompatible(t *testing.T) {
+	a := New()
+	a.Printf("x=%d\n", 9)
+	b := New()
+	if _, err := b.Write([]byte("x=9\n")); err != nil {
+		t.Fatal(err)
+	}
+	if a.Sum() != b.Sum() {
+		t.Fatalf("Printf and Write disagree: %s != %s", a.Sum(), b.Sum())
+	}
+}

@@ -1,11 +1,10 @@
 package machine
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
 	"fmt"
 	"io"
 
+	"cenju4/internal/digest"
 	"cenju4/internal/msg"
 )
 
@@ -15,15 +14,16 @@ import (
 // statistics — changes the digest.
 //
 // The serialization is explicit field-by-field writing in declaration
-// order, never reflection or map iteration, so it is stable across
-// process runs and Go versions. The one map in the Result
+// order through the repo's canonical digest writer (internal/digest),
+// never reflection or map iteration, so it is stable across process
+// runs and Go versions. The one map in the Result
 // (core.Stats.Requests) is written in msg.Kind numeric order. When a
 // field is added to any stats struct, extend writeResult and regenerate
 // the golden files (see fuzz/golden_test.go).
 func Digest(r Result) string {
-	h := sha256.New()
-	writeResult(h, r)
-	return hex.EncodeToString(h.Sum(nil))
+	w := digest.New()
+	writeResult(w, r)
+	return w.Sum()
 }
 
 func writeResult(w io.Writer, r Result) {

@@ -5,6 +5,8 @@
 package machine
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"slices"
 
@@ -271,6 +273,62 @@ func (m *Machine) Run(progs []cpu.Program) Result {
 		panic(fmt.Sprintf("machine: %d programs never finished (deadlock or unmatched synchronization)", remaining))
 	}
 	return m.Snapshot()
+}
+
+// ErrEventBudget is returned by RunContext when a run fires more
+// events than its budget allows. The serve layer maps it to an
+// over-limit rejection so one pathological spec cannot monopolize an
+// execution worker.
+var ErrEventBudget = errors.New("machine: event budget exhausted")
+
+// runPollEvents is how many events RunContext executes between
+// context/budget checks. Large enough that the checks are invisible in
+// profiles, small enough that a cancelled job stops within
+// microseconds of wall time.
+const runPollEvents = 4096
+
+// RunContext is Run with an abort path: between bounded event chunks
+// it polls ctx and an optional event budget (0 = unlimited), so a
+// caller can impose a wall-clock timeout (context.WithTimeout) or an
+// operation ceiling on an otherwise opaque simulation. On abort the
+// machine is mid-flight and must be discarded — only the error is
+// meaningful. A run that completes is indistinguishable from Run: the
+// chunked loop executes the identical event sequence (see
+// sim.Engine.RunChunk), so digests and metrics are unaffected.
+func (m *Machine) RunContext(ctx context.Context, progs []cpu.Program, maxEvents uint64) (Result, error) {
+	if len(progs) != m.cfg.Nodes {
+		panic(fmt.Sprintf("machine: %d programs for %d nodes", len(progs), m.cfg.Nodes))
+	}
+	remaining := m.cfg.Nodes
+	for i, p := range progs {
+		m.cpus[i].Run(p, func() { remaining-- })
+	}
+	var fired uint64
+	for {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
+		limit := uint64(runPollEvents)
+		if maxEvents != 0 {
+			// Shrink the final chunk to the remaining budget plus one:
+			// the extra event is what proves the budget is exceeded.
+			if rem := maxEvents - fired; rem < limit {
+				limit = rem + 1
+			}
+		}
+		n, more := m.eng.RunChunk(limit)
+		fired += n
+		if maxEvents != 0 && fired > maxEvents {
+			return Result{}, fmt.Errorf("%w (%d events fired, budget %d)", ErrEventBudget, fired, maxEvents)
+		}
+		if !more {
+			break
+		}
+	}
+	if remaining != 0 {
+		panic(fmt.Sprintf("machine: %d programs never finished (deadlock or unmatched synchronization)", remaining))
+	}
+	return m.Snapshot(), nil
 }
 
 // Snapshot collects statistics without running.

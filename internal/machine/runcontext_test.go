@@ -1,0 +1,90 @@
+package machine
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"cenju4/internal/cpu"
+	"cenju4/internal/topology"
+)
+
+// sharedProgs builds a small true-sharing workload: every node loads
+// and stores one block homed at node 0, generating enough protocol
+// traffic that the chunked run covers multiple poll intervals.
+func sharedProgs(nodes, rounds int) []cpu.Program {
+	progs := make([]cpu.Program, nodes)
+	for i := range progs {
+		var ops []cpu.Op
+		for r := 0; r < rounds; r++ {
+			a := topology.SharedAddr(0, uint64(r%4)*64)
+			ops = append(ops,
+				cpu.Op{Kind: cpu.OpLoad, Addr: a},
+				cpu.Op{Kind: cpu.OpStore, Addr: a},
+				cpu.Op{Kind: cpu.OpCompute, N: 10})
+		}
+		progs[i] = &cpu.SliceProgram{Ops: ops}
+	}
+	return progs
+}
+
+// TestRunContextMatchesRun: a completed RunContext is byte-identical
+// (by result digest) to a plain Run of the same workload.
+func TestRunContextMatchesRun(t *testing.T) {
+	ref := New(Config{Nodes: 8, Multicast: true}).Run(sharedProgs(8, 40))
+
+	m := New(Config{Nodes: 8, Multicast: true})
+	got, err := m.RunContext(context.Background(), sharedProgs(8, 40), 0)
+	if err != nil {
+		t.Fatalf("RunContext: %v", err)
+	}
+	if Digest(got) != Digest(ref) {
+		t.Fatalf("RunContext digest %s differs from Run digest %s", Digest(got), Digest(ref))
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("post-run validate: %v", err)
+	}
+}
+
+// TestRunContextCancelled: a pre-cancelled context aborts before any
+// event fires.
+func TestRunContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	m := New(Config{Nodes: 4, Multicast: true})
+	_, err := m.RunContext(ctx, sharedProgs(4, 10), 0)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if m.Engine().Fired() != 0 {
+		t.Fatalf("%d events fired under a cancelled context", m.Engine().Fired())
+	}
+}
+
+// TestRunContextEventBudget: a budget smaller than the run aborts with
+// ErrEventBudget, without overshooting by more than one event.
+func TestRunContextEventBudget(t *testing.T) {
+	total := New(Config{Nodes: 8, Multicast: true}).Run(sharedProgs(8, 40)).Events
+	if total < 100 {
+		t.Fatalf("workload too small to test budgeting (%d events)", total)
+	}
+	budget := total / 2
+	m := New(Config{Nodes: 8, Multicast: true})
+	_, err := m.RunContext(context.Background(), sharedProgs(8, 40), budget)
+	if !errors.Is(err, ErrEventBudget) {
+		t.Fatalf("err = %v, want ErrEventBudget", err)
+	}
+	if fired := m.Engine().Fired(); fired != budget+1 {
+		t.Fatalf("fired %d events under budget %d, want exactly budget+1", fired, budget)
+	}
+}
+
+// TestRunContextGenerousBudget: a budget at least the run's event
+// count does not fire.
+func TestRunContextGenerousBudget(t *testing.T) {
+	total := New(Config{Nodes: 4, Multicast: true}).Run(sharedProgs(4, 10)).Events
+	m := New(Config{Nodes: 4, Multicast: true})
+	if _, err := m.RunContext(context.Background(), sharedProgs(4, 10), total); err != nil {
+		t.Fatalf("budget == event count aborted: %v", err)
+	}
+}

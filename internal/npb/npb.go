@@ -24,6 +24,7 @@ package npb
 
 import (
 	"fmt"
+	"strings"
 
 	"cenju4/internal/cpu"
 	"cenju4/internal/shmem"
@@ -79,6 +80,38 @@ func (v Variant) String() string {
 		return "dsm(2)"
 	}
 	return fmt.Sprintf("Variant(%d)", uint8(v))
+}
+
+// ParseApp parses an application name ("bt", "cg", "ft", "sp", any
+// case). Every CLI and the serve job API accept the same spellings.
+func ParseApp(s string) (App, error) {
+	switch strings.ToLower(s) {
+	case "bt":
+		return BT, nil
+	case "cg":
+		return CG, nil
+	case "ft":
+		return FT, nil
+	case "sp":
+		return SP, nil
+	}
+	return 0, fmt.Errorf("npb: unknown application %q (want bt, cg, ft or sp)", s)
+}
+
+// ParseVariant parses a program-form name: "seq", "mpi", "dsm1" or
+// "dsm2" (the rendered forms "dsm(1)"/"dsm(2)" are also accepted).
+func ParseVariant(s string) (Variant, error) {
+	switch strings.ToLower(s) {
+	case "seq":
+		return Seq, nil
+	case "mpi":
+		return MPI, nil
+	case "dsm1", "dsm(1)":
+		return DSM1, nil
+	case "dsm2", "dsm(2)":
+		return DSM2, nil
+	}
+	return 0, fmt.Errorf("npb: unknown variant %q (want seq, mpi, dsm1 or dsm2)", s)
 }
 
 // Options selects and sizes a workload build.

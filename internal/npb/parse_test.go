@@ -1,0 +1,47 @@
+package npb
+
+import "testing"
+
+func TestParseApp(t *testing.T) {
+	cases := map[string]App{"bt": BT, "BT": BT, "cg": CG, "Ft": FT, "sp": SP}
+	for in, want := range cases {
+		got, err := ParseApp(in)
+		if err != nil || got != want {
+			t.Errorf("ParseApp(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseApp("lu"); err == nil {
+		t.Error("ParseApp accepted an unknown application")
+	}
+}
+
+func TestParseVariant(t *testing.T) {
+	cases := map[string]Variant{
+		"seq": Seq, "mpi": MPI, "dsm1": DSM1, "dsm2": DSM2,
+		"dsm(1)": DSM1, "dsm(2)": DSM2, "DSM2": DSM2,
+	}
+	for in, want := range cases {
+		got, err := ParseVariant(in)
+		if err != nil || got != want {
+			t.Errorf("ParseVariant(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseVariant("omp"); err == nil {
+		t.Error("ParseVariant accepted an unknown variant")
+	}
+}
+
+// TestParseRoundTrips: every enum's rendered name parses back to
+// itself, so specs can be echoed and resubmitted.
+func TestParseRoundTrips(t *testing.T) {
+	for _, a := range Apps() {
+		if got, err := ParseApp(a.String()); err != nil || got != a {
+			t.Errorf("ParseApp(%q) = %v, %v; want %v", a.String(), got, err, a)
+		}
+	}
+	for _, v := range []Variant{Seq, MPI, DSM1, DSM2} {
+		if got, err := ParseVariant(v.String()); err != nil || got != v {
+			t.Errorf("ParseVariant(%q) = %v, %v; want %v", v.String(), got, err, v)
+		}
+	}
+}

@@ -24,6 +24,7 @@
 package runner
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -40,6 +41,20 @@ type Options struct {
 	// Label, if non-nil, names run i in panic reports (typically the
 	// config+seed string needed to replay it).
 	Label func(i int) string
+	// Context, if non-nil, lets the caller abandon a sweep: once it is
+	// cancelled, no further run starts (runs already executing finish —
+	// fn itself must watch the context if mid-run abort is needed, as
+	// machine.RunContext does). Skipped runs leave the zero value in the
+	// result slice and never receive an each callback, so callers that
+	// pass a cancellable context must check Context.Err() before
+	// trusting the tail of the results. A nil Context reproduces the
+	// original run-everything behaviour for existing call sites.
+	Context context.Context
+}
+
+// skip reports whether the sweep has been abandoned.
+func (o Options) skip() bool {
+	return o.Context != nil && o.Context.Err() != nil
 }
 
 // Panic describes one captured run panic.
@@ -89,6 +104,9 @@ func MapEach[R any](o Options, n int, fn func(i int) R, each func(i int, r R)) (
 
 	if workers == 1 {
 		for i := 0; i < n; i++ {
+			if o.skip() {
+				break
+			}
 			runOne(o, i, fn, results, panicked)
 			if each != nil && panicked[i] == nil {
 				each(i, results[i])
@@ -124,6 +142,9 @@ func MapEach[R any](o Options, n int, fn func(i int) R, each func(i int, r R)) (
 		go func() {
 			defer wg.Done()
 			for {
+				if o.skip() {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return

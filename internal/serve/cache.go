@@ -1,0 +1,118 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Entry is one cached job result: the rendered response payload plus
+// the optional Chrome-trace export. Entries are immutable after Put —
+// handlers write the byte slices to the wire verbatim, which is what
+// makes repeated GETs byte-identical.
+type Entry struct {
+	// Digest is the spec's content address.
+	Digest string
+	// Body is the canonical JSON response payload of POST /v1/jobs and
+	// GET /v1/jobs/{digest}.
+	Body []byte
+	// Trace is the Chrome-trace-event JSON (empty unless the spec
+	// requested tracing).
+	Trace []byte
+}
+
+// size is the entry's accounting weight in the byte-bounded cache.
+func (e *Entry) size() int64 {
+	return int64(len(e.Digest) + len(e.Body) + len(e.Trace))
+}
+
+// CacheStats is a point-in-time snapshot of the cache counters.
+type CacheStats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Entries   int
+	Bytes     int64
+	MaxBytes  int64
+}
+
+// Cache is a thread-safe LRU of result entries bounded by total bytes.
+// Content addressing makes it trivially coherent: an entry for a
+// digest can only ever hold one value, so eviction is purely a cost
+// decision — a re-run regenerates the identical bytes.
+type Cache struct {
+	mu        sync.Mutex
+	max       int64
+	size      int64
+	entries   map[string]*list.Element // digest -> element holding *Entry
+	order     *list.List               // front = most recently used
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+// NewCache returns an empty cache bounded to maxBytes of entry weight.
+// maxBytes <= 0 disables caching (every Get misses, Put drops).
+func NewCache(maxBytes int64) *Cache {
+	return &Cache{
+		max:     maxBytes,
+		entries: make(map[string]*list.Element),
+		order:   list.New(),
+	}
+}
+
+// Get returns the entry for digest, marking it most recently used.
+func (c *Cache) Get(digest string) (*Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[digest]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*Entry), true
+}
+
+// Put inserts an entry, evicting least-recently-used entries until the
+// byte bound holds. An entry larger than the whole cache is not stored
+// (and counts as an eviction): admitting it would flush everything for
+// a single tenant.
+func (c *Cache) Put(e *Entry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[e.Digest]; ok {
+		// Content-addressed: same digest means same bytes; just refresh
+		// recency.
+		c.order.MoveToFront(el)
+		return
+	}
+	if e.size() > c.max {
+		c.evictions++
+		return
+	}
+	c.entries[e.Digest] = c.order.PushFront(e)
+	c.size += e.size()
+	for c.size > c.max {
+		back := c.order.Back()
+		victim := back.Value.(*Entry)
+		c.order.Remove(back)
+		delete(c.entries, victim.Digest)
+		c.size -= victim.size()
+		c.evictions++
+	}
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Entries:   len(c.entries),
+		Bytes:     c.size,
+		MaxBytes:  c.max,
+	}
+}

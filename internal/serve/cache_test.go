@@ -1,0 +1,105 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+)
+
+func entryOf(digest string, bodyBytes int) *Entry {
+	return &Entry{Digest: digest, Body: make([]byte, bodyBytes)}
+}
+
+func TestCacheHitMiss(t *testing.T) {
+	c := NewCache(1 << 20)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty cache returned an entry")
+	}
+	e := entryOf("a", 100)
+	c.Put(e)
+	got, ok := c.Get("a")
+	if !ok || got != e {
+		t.Fatalf("Get after Put = (%v, %v)", got, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss / 1 entry", st)
+	}
+	if st.Bytes != e.size() {
+		t.Fatalf("bytes = %d, want %d", st.Bytes, e.size())
+	}
+}
+
+// TestCacheEvictsLRU: filling past the byte bound evicts the least
+// recently *used* entry, and a Get refreshes recency.
+func TestCacheEvictsLRU(t *testing.T) {
+	// Three 400-byte bodies fit a 1350-byte cache; a fourth evicts.
+	c := NewCache(1350)
+	for _, d := range []string{"a", "b", "c"} {
+		c.Put(entryOf(d, 400))
+	}
+	c.Get("a") // refresh a: b is now LRU
+	c.Put(entryOf("d", 400))
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("LRU entry b survived eviction")
+	}
+	for _, d := range []string{"a", "c", "d"} {
+		if _, ok := c.Get(d); !ok {
+			t.Fatalf("entry %s was evicted, want b evicted", d)
+		}
+	}
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+}
+
+// TestCacheEvictsEnough: one big insert can push out several entries.
+func TestCacheEvictsEnough(t *testing.T) {
+	c := NewCache(1000)
+	for i := 0; i < 4; i++ {
+		c.Put(entryOf(fmt.Sprintf("e%d", i), 200))
+	}
+	c.Put(entryOf("big", 700))
+	st := c.Stats()
+	if st.Bytes > 1000 {
+		t.Fatalf("cache holds %d bytes, bound 1000", st.Bytes)
+	}
+	if _, ok := c.Get("big"); !ok {
+		t.Fatal("newly inserted entry was not retained")
+	}
+}
+
+// TestCacheOversizeEntry: an entry larger than the whole cache is not
+// admitted and does not flush the existing population.
+func TestCacheOversizeEntry(t *testing.T) {
+	c := NewCache(500)
+	c.Put(entryOf("keep", 100))
+	c.Put(entryOf("huge", 10000))
+	if _, ok := c.Get("huge"); ok {
+		t.Fatal("oversize entry was admitted")
+	}
+	if _, ok := c.Get("keep"); !ok {
+		t.Fatal("oversize insert flushed an existing entry")
+	}
+}
+
+// TestCacheDuplicatePut: content addressing means a duplicate Put is a
+// recency refresh, not a second copy.
+func TestCacheDuplicatePut(t *testing.T) {
+	c := NewCache(1 << 20)
+	c.Put(entryOf("a", 100))
+	c.Put(entryOf("a", 100))
+	st := c.Stats()
+	if st.Entries != 1 || st.Bytes != entryOf("a", 100).size() {
+		t.Fatalf("duplicate Put changed accounting: %+v", st)
+	}
+}
+
+// TestCacheTraceCounted: trace bytes count against the bound.
+func TestCacheTraceCounted(t *testing.T) {
+	c := NewCache(1 << 20)
+	e := &Entry{Digest: "t", Body: make([]byte, 10), Trace: make([]byte, 90)}
+	c.Put(e)
+	if st := c.Stats(); st.Bytes != int64(len("t")+10+90) {
+		t.Fatalf("bytes = %d, want body+trace+digest", st.Bytes)
+	}
+}

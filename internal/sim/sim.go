@@ -188,6 +188,34 @@ func (e *Engine) Run() uint64 {
 	return e.fired - start
 }
 
+// RunChunk executes at most limit events and reports how many fired
+// and whether work remains queued. It is Run sliced into bounded
+// pieces: the idle func fires at every queue drain exactly as in Run,
+// and a drain with nothing rescheduled ends the chunk early with
+// more=false. Callers that need to interleave the simulation with
+// outside checks — the serve layer polls a context for cancellation
+// and enforces an event budget between chunks — loop over RunChunk
+// until more is false; the event sequence is identical to one Run
+// call, so chunked execution cannot perturb a result digest. Like Run
+// it clears a stale Stop on entry and returns early (with more
+// reporting the queue state) when Stop is called mid-chunk.
+func (e *Engine) RunChunk(limit uint64) (fired uint64, more bool) {
+	start := e.fired
+	e.stopped = false
+	for !e.stopped && e.fired-start < limit {
+		if e.Step() {
+			continue
+		}
+		if e.idle != nil {
+			e.idle()
+		}
+		if e.queue.size == 0 {
+			return e.fired - start, false
+		}
+	}
+	return e.fired - start, e.queue.size > 0
+}
+
 // RunUntil executes events with time <= deadline. Events scheduled past
 // the deadline remain queued; the clock is left at the last fired event
 // (or advanced to the deadline if nothing fired at it). Like Run it
