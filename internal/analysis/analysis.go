@@ -20,6 +20,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"path/filepath"
 	"sort"
 )
 
@@ -40,6 +41,63 @@ type Diagnostic struct {
 	Message string
 }
 
+// A Program is the whole set of packages under analysis, with the
+// interprocedural context the cross-package analyzers need: the
+// module-wide call graph and a per-run cache for propagated facts.
+// Every Pass handed to an analyzer carries the same Program, so an
+// analyzer can compute module-wide facts once (under a cache key) and
+// consult them from every per-package run.
+type Program struct {
+	Fset      *token.FileSet
+	Packages  []*Package
+	CallGraph *CallGraph
+
+	cache map[string]any
+}
+
+// NewProgram builds the interprocedural context over pkgs, which must
+// share one FileSet (the loader and the analysistest harness both
+// guarantee this).
+func NewProgram(fset *token.FileSet, pkgs []*Package) *Program {
+	return &Program{
+		Fset:      fset,
+		Packages:  pkgs,
+		CallGraph: buildCallGraph(pkgs),
+		cache:     make(map[string]any),
+	}
+}
+
+// Cached memoizes build under key for the lifetime of the program.
+// Analyzers use it to compute module-wide fact maps exactly once even
+// though their Run hook fires once per package.
+func (p *Program) Cached(key string, build func() any) any {
+	if v, ok := p.cache[key]; ok {
+		return v
+	}
+	v := build()
+	p.cache[key] = v
+	return v
+}
+
+// FactChain renders the call path from fn to the leaf evidence of the
+// given fact kind: "a.F -> b.G: <desc> (file:line)". It returns "" if
+// fn does not exhibit the fact.
+func (p *Program) FactChain(facts FactMap, fn *types.Func, kind string) string {
+	fp := facts.Lookup(fn, kind)
+	if fp == nil {
+		return ""
+	}
+	// Every FactPath on a chain carries the same leaf Fact (Propagate
+	// copies it on inheritance), so fp already holds the evidence; the
+	// loop only spells out the intermediate hops.
+	chain := DisplayName(fn)
+	for at := fp; at != nil && at.Via != nil; at = facts.Lookup(at.Via.Callee, kind) {
+		chain += " -> " + DisplayName(at.Via.Callee)
+	}
+	pos := p.Fset.Position(fp.Fact.Pos)
+	return fmt.Sprintf("%s: %s (%s:%d)", chain, fp.Fact.Desc, filepath.Base(pos.Filename), pos.Line)
+}
+
 // A Pass presents one typechecked package to an Analyzer.
 type Pass struct {
 	Analyzer  *Analyzer
@@ -47,6 +105,11 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// Program is the whole analysis run: every loaded package plus the
+	// module-wide call graph. Per-package analyzers may ignore it;
+	// interprocedural ones reach through it for facts about functions
+	// in other packages.
+	Program *Program
 
 	diags []Diagnostic
 }
@@ -69,8 +132,16 @@ func (f Finding) String() string {
 }
 
 // RunAnalyzers applies every analyzer to every package and returns the
-// merged findings sorted by position.
+// merged findings sorted by position. The packages are analyzed as one
+// Program: interprocedural analyzers see the module-wide call graph,
+// so running over a subset of the module weakens their transitive
+// checks (the driver's default pattern is ./... for exactly this
+// reason).
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	if len(pkgs) == 0 {
+		return nil, nil
+	}
+	prog := NewProgram(pkgs[0].Fset, pkgs)
 	var out []Finding
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
@@ -80,6 +151,7 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 				Files:     pkg.Syntax,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.TypesInfo,
+				Program:   prog,
 			}
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)

@@ -29,6 +29,7 @@ import (
 	"go/ast"
 	"go/parser"
 	"go/token"
+	"go/types"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -47,18 +48,35 @@ const pathDirective = "//lintfixture:path "
 // any mismatch against the fixture's want comments as test errors.
 func Run(t *testing.T, dir string, a *analysis.Analyzer) {
 	t.Helper()
-	pkg, err := load(dir)
+	RunDirs(t, a, dir)
+}
+
+// RunDirs applies the analyzer to a multi-package fixture: each dir is
+// typechecked as one package, in the given order, and a later fixture
+// may import an earlier one by its declared import path (the
+// //lintfixture:path directive, or the default
+// cenju4/lintfixture/<base>). All packages are analyzed as one program
+// — this is how the interprocedural analyzers' cross-package fact
+// propagation is exercised under test — and want comments are checked
+// across every fixture file.
+func RunDirs(t *testing.T, a *analysis.Analyzer, dirs ...string) {
+	t.Helper()
+	pkgs, err := LoadDirs(dirs...)
 	if err != nil {
-		t.Fatalf("loading fixture %s: %v", dir, err)
+		t.Fatalf("loading fixtures %v: %v", dirs, err)
 	}
-	findings, err := analysis.RunAnalyzers([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+	findings, err := analysis.RunAnalyzers(pkgs, []*analysis.Analyzer{a})
 	if err != nil {
-		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+		t.Fatalf("running %s on %v: %v", a.Name, dirs, err)
 	}
 
-	expects, err := expectations(pkg)
-	if err != nil {
-		t.Fatal(err)
+	var expects []*expectation
+	for _, pkg := range pkgs {
+		e, err := expectations(pkg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		expects = append(expects, e...)
 	}
 	for _, f := range findings {
 		if !claim(expects, f) {
@@ -72,8 +90,46 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer) {
 	}
 }
 
-// load parses and typechecks the fixture directory as one package.
-func load(dir string) (*analysis.Package, error) {
+// LoadDirs parses and typechecks fixture directories in order under
+// one shared FileSet, resolving imports among them in memory and
+// everything else through `go list -export` artifacts. Tests that need
+// to run analyzers over package subsets (e.g. to prove a violation is
+// only visible with cross-package facts) load with this and call
+// analysis.RunAnalyzers themselves.
+func LoadDirs(dirs ...string) ([]*analysis.Package, error) {
+	fset := token.NewFileSet()
+	fixtures := make(map[string]*types.Package)
+	exports := make(map[string]string)
+	var pkgs []*analysis.Package
+	for _, dir := range dirs {
+		pkg, err := load(fset, fixtures, exports, dir)
+		if err != nil {
+			return nil, err
+		}
+		fixtures[pkg.ImportPath] = pkg.Types
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// fixtureImporter serves sibling fixture packages from memory and
+// everything else from export data.
+type fixtureImporter struct {
+	fixtures map[string]*types.Package
+	fallback types.Importer
+}
+
+func (i fixtureImporter) Import(path string) (*types.Package, error) {
+	if p, ok := i.fixtures[path]; ok {
+		return p, nil
+	}
+	return i.fallback.Import(path)
+}
+
+// load parses and typechecks one fixture directory as a package,
+// against previously loaded sibling fixtures and the accumulated
+// export data.
+func load(fset *token.FileSet, fixtures map[string]*types.Package, exports map[string]string, dir string) (*analysis.Package, error) {
 	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
 	if err != nil {
 		return nil, err
@@ -83,7 +139,6 @@ func load(dir string) (*analysis.Package, error) {
 	}
 	sort.Strings(names)
 
-	fset := token.NewFileSet()
 	var syntax []*ast.File
 	for _, name := range names {
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
@@ -98,11 +153,23 @@ func load(dir string) (*analysis.Package, error) {
 		pkgPath = p
 	}
 
-	exports, err := exportData(dir, imports(syntax))
-	if err != nil {
+	var external []string
+	for _, path := range imports(syntax) {
+		if _, ok := fixtures[path]; ok {
+			continue
+		}
+		if _, ok := exports[path]; ok {
+			continue
+		}
+		external = append(external, path)
+	}
+	if err := mergeExportData(exports, dir, external); err != nil {
 		return nil, err
 	}
-	imp := analysis.ExportImporter(fset, exports)
+	imp := fixtureImporter{
+		fixtures: fixtures,
+		fallback: analysis.ExportImporter(fset, exports),
+	}
 	return analysis.Check(fset, imp, pkgPath, syntax)
 }
 
@@ -139,18 +206,25 @@ func imports(files []*ast.File) []string {
 	return out
 }
 
-// exportData resolves the fixture's imports (and their transitive
+// mergeExportData resolves the given imports (and their transitive
 // dependencies) to compiler export data files via `go list -export`,
-// run from the enclosing module.
-func exportData(dir string, paths []string) (map[string]string, error) {
+// run from the enclosing module, merging them into exports.
+func mergeExportData(exports map[string]string, dir string, paths []string) error {
 	if len(paths) == 0 {
-		return nil, nil
+		return nil
 	}
 	root, err := moduleRoot(dir)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	return analysis.ListExports(root, paths...)
+	m, err := analysis.ListExports(root, paths...)
+	if err != nil {
+		return err
+	}
+	for path, file := range m { //cenju4:order-insensitive per-key merge
+		exports[path] = file
+	}
+	return nil
 }
 
 // moduleRoot walks up from dir to the directory holding go.mod.

@@ -1,0 +1,365 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file is the interprocedural half of the framework: a
+// module-wide call graph over every loaded package, strongly-connected
+// components for bottom-up processing, and the two propagation shapes
+// the analyzers need — bottom-up facts ("this function transitively
+// reaches a wall-clock read") and top-down reachability ("this
+// function is reachable from a //cenju4:hotpath root").
+//
+// Identity across packages is the crux. The loader typechecks every
+// target package from source against export data, so the *types.Func
+// for sim.NewEngine seen from its own package and the one seen through
+// an import are different objects. Nodes are therefore keyed by
+// FuncKey (types.Func.FullName), which is stable across the
+// source/export-data boundary; edge resolution goes through the key,
+// never through object identity.
+
+// FuncKey returns the canonical cross-package identity of fn:
+// "pkg/path.Name" for functions, "(pkg/path.Recv).Name" for methods.
+// It is stable between the source-typechecked object of a function and
+// the export-data object an importing package sees.
+func FuncKey(fn *types.Func) string { return fn.FullName() }
+
+// A CGNode is one module function (or method) with source in the
+// program.
+type CGNode struct {
+	Key  string
+	Fn   *types.Func
+	Decl *ast.FuncDecl
+	Pkg  *Package
+	// Out holds the node's call sites in source order. Calls inside
+	// function literals declared in the body are attributed to the
+	// enclosing declaration: running the function may run its closures.
+	Out []*CGEdge
+
+	// Tarjan state.
+	index, lowlink int
+	onStack        bool
+	scc            int
+}
+
+// A CGEdge is one static call site.
+type CGEdge struct {
+	Caller    *CGNode
+	Callee    *types.Func // callee object as seen by the caller's package
+	CalleeKey string
+	To        *CGNode // resolved program node; nil for external callees
+	Site      *ast.CallExpr
+}
+
+// CallGraph is the module-wide static call graph. Only statically
+// resolvable calls appear: direct calls of declared functions and
+// methods (through package qualifiers, receivers, or plain
+// identifiers). Calls through function values, interface methods and
+// the event queue's stored closures are not resolved — analyzers built
+// on the graph are therefore "may-miss" on dynamic dispatch, never
+// "may-crash".
+type CallGraph struct {
+	nodes map[string]*CGNode
+	// order preserves deterministic node creation order
+	// (package, file, declaration) for deterministic iteration.
+	order []*CGNode
+}
+
+// Node returns the program node for fn, or nil if fn has no source in
+// the program (external, interface method, or builtin).
+func (g *CallGraph) Node(fn *types.Func) *CGNode {
+	if fn == nil {
+		return nil
+	}
+	return g.nodes[FuncKey(fn)]
+}
+
+// NodeByKey returns the node with the given FuncKey, or nil.
+func (g *CallGraph) NodeByKey(key string) *CGNode { return g.nodes[key] }
+
+// Nodes returns every node in deterministic (package, file,
+// declaration) order.
+func (g *CallGraph) Nodes() []*CGNode { return g.order }
+
+// StaticCallee resolves the statically-known callee of call, or nil:
+// a plain identifier, a package-qualified function, or a method
+// selection on a concrete receiver. Builtins, function values and
+// interface method calls return the object go/types reports, which for
+// builtins and unresolvable forms is not a *types.Func.
+func StaticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// buildCallGraph constructs the graph over pkgs. Two passes: declare
+// every function, then resolve call sites through FuncKey so
+// cross-package edges land on the source-typechecked node.
+func buildCallGraph(pkgs []*Package) *CallGraph {
+	g := &CallGraph{nodes: make(map[string]*CGNode)}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Syntax {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.TypesInfo.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				n := &CGNode{Key: FuncKey(fn), Fn: fn, Decl: fd, Pkg: pkg}
+				g.nodes[n.Key] = n
+				g.order = append(g.order, n)
+			}
+		}
+	}
+	for _, n := range g.order {
+		info := n.Pkg.TypesInfo
+		ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+			call, ok := node.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := StaticCallee(info, call)
+			if callee == nil {
+				return true
+			}
+			key := FuncKey(callee)
+			n.Out = append(n.Out, &CGEdge{
+				Caller:    n,
+				Callee:    callee,
+				CalleeKey: key,
+				To:        g.nodes[key],
+				Site:      call,
+			})
+			return true
+		})
+	}
+	return g
+}
+
+// SCCs returns the strongly connected components of the graph in
+// reverse topological order: every component is emitted before any
+// component that calls into it, so bottom-up fact propagation can
+// process the slice front to back.
+func (g *CallGraph) SCCs() [][]*CGNode {
+	var (
+		sccs    [][]*CGNode
+		stack   []*CGNode
+		counter int
+	)
+	for _, n := range g.order {
+		n.index = 0
+	}
+	var strongconnect func(v *CGNode)
+	strongconnect = func(v *CGNode) {
+		counter++
+		v.index, v.lowlink = counter, counter
+		stack = append(stack, v)
+		v.onStack = true
+		for _, e := range v.Out {
+			w := e.To
+			if w == nil {
+				continue
+			}
+			if w.index == 0 {
+				strongconnect(w)
+				if w.lowlink < v.lowlink {
+					v.lowlink = w.lowlink
+				}
+			} else if w.onStack && w.index < v.lowlink {
+				v.lowlink = w.index
+			}
+		}
+		if v.lowlink == v.index {
+			var comp []*CGNode
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				w.onStack = false
+				w.scc = len(sccs)
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			sccs = append(sccs, comp)
+		}
+	}
+	for _, n := range g.order {
+		if n.index == 0 {
+			strongconnect(n)
+		}
+	}
+	return sccs
+}
+
+// ReachableFrom walks the graph forward from roots (BFS, edges in
+// source order) and returns, for every reachable node, the edge
+// through which it was first discovered. Roots map to nil. The parent
+// chain of any reached node therefore spells a shortest call path back
+// to some root.
+func (g *CallGraph) ReachableFrom(roots []*CGNode) map[*CGNode]*CGEdge {
+	parent := make(map[*CGNode]*CGEdge, len(roots))
+	queue := make([]*CGNode, 0, len(roots))
+	for _, r := range roots {
+		if _, seen := parent[r]; seen || r == nil {
+			continue
+		}
+		parent[r] = nil
+		queue = append(queue, r)
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, e := range n.Out {
+			if e.To == nil {
+				continue
+			}
+			if _, seen := parent[e.To]; seen {
+				continue
+			}
+			parent[e.To] = e
+			queue = append(queue, e.To)
+		}
+	}
+	return parent
+}
+
+// RootPath renders the call path from the nearest root to n as
+// "root -> a -> b", using the parent map from ReachableFrom. A root
+// renders as its own name.
+func RootPath(parent map[*CGNode]*CGEdge, n *CGNode) string {
+	var names []string
+	for at := n; at != nil; {
+		names = append(names, DisplayName(at.Fn))
+		e := parent[at]
+		if e == nil {
+			break
+		}
+		at = e.Caller
+	}
+	// Reverse into root-first order.
+	for i, j := 0, len(names)-1; i < j; i, j = i+1, j-1 {
+		names[i], names[j] = names[j], names[i]
+	}
+	out := names[0]
+	for _, s := range names[1:] {
+		out += " -> " + s
+	}
+	return out
+}
+
+// DisplayName renders fn compactly for diagnostics: pkg.Fn for
+// functions, pkg.Type.Method for methods (pointer receivers elided —
+// positions in the diagnostic disambiguate).
+func DisplayName(fn *types.Func) string {
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Name() + "."
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, isPtr := types.Unalias(t).(*types.Pointer); isPtr {
+			t = p.Elem()
+		}
+		if named, isNamed := types.Unalias(t).(*types.Named); isNamed {
+			return pkg + named.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return pkg + fn.Name()
+}
+
+// A Fact is one property a function exhibits directly, discovered by
+// an analyzer's local extractor: "ranges over a map here", "allocates
+// here". Kind names the property; Desc and Pos describe the concrete
+// leaf evidence for diagnostics.
+type Fact struct {
+	Kind string
+	Desc string
+	Pos  token.Pos
+}
+
+// A FactPath is one fact a function exhibits, directly (Via == nil) or
+// through a call (Via is the first edge on a path to a function that
+// exhibits it).
+type FactPath struct {
+	Fact Fact
+	Via  *CGEdge
+}
+
+// FactMap holds propagated facts: FuncKey -> fact kind -> path.
+type FactMap map[string]map[string]*FactPath
+
+// Lookup returns the path for (fn, kind), or nil. fn may come from any
+// package — source-typechecked or imported through export data — since
+// the map is keyed by FuncKey.
+func (m FactMap) Lookup(fn *types.Func, kind string) *FactPath {
+	if fn == nil {
+		return nil
+	}
+	return m[FuncKey(fn)][kind]
+}
+
+// Propagate computes, bottom-up over the SCCs of the graph, the facts
+// every function exhibits directly (via local) or transitively through
+// static calls. One path is kept per (function, kind); paths through a
+// cycle are well-founded because a fact, once set, is never
+// overwritten — following Via always reaches a node whose fact was set
+// earlier, terminating at a direct fact.
+func (g *CallGraph) Propagate(local func(*CGNode) []Fact) FactMap {
+	m := make(FactMap, len(g.order))
+	get := func(n *CGNode) map[string]*FactPath {
+		fm := m[n.Key]
+		if fm == nil {
+			fm = make(map[string]*FactPath)
+			m[n.Key] = fm
+		}
+		return fm
+	}
+	for _, comp := range g.SCCs() {
+		// Direct facts first, then inherit through out-edges to a fixed
+		// point. Out-of-component callees are already final (reverse
+		// topological order); intra-component inheritance converges
+		// because each (function, kind) is set at most once.
+		for _, n := range comp {
+			fm := get(n)
+			for _, f := range local(n) {
+				if _, ok := fm[f.Kind]; !ok {
+					fm[f.Kind] = &FactPath{Fact: f}
+				}
+			}
+		}
+		for changed := true; changed; {
+			changed = false
+			for _, n := range comp {
+				fm := get(n)
+				for _, e := range n.Out {
+					if e.To == nil {
+						continue
+					}
+					for kind, fp := range m[e.To.Key] {
+						if _, ok := fm[kind]; !ok {
+							fm[kind] = &FactPath{Fact: fp.Fact, Via: e}
+							changed = true
+						}
+					}
+				}
+			}
+		}
+	}
+	return m
+}

@@ -164,6 +164,47 @@ func SuppressedLines(fset *token.FileSet, file *ast.File, directive string) map[
 	return lines
 }
 
+// WallClock lists the time-package functions that read or depend on
+// the host clock (shared by the determinism and simtime analyzers, for
+// both their direct checks and the call-graph facts they propagate).
+// Pure value constructors (time.Duration arithmetic) are not listed.
+var WallClock = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+	"AfterFunc": true,
+}
+
+// PackageLevelVar reports whether obj is a package-level variable —
+// the shared mutable state the pdessafety analyzer bans worker
+// closures from reaching.
+func PackageLevelVar(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	return ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+// RootIdent unwraps an assignable expression to its root identifier:
+// results[i], *out, s.n and (x).f all resolve to the variable being
+// (indirectly) written through. Returns nil for expressions with no
+// identifier root (function call results, composite literals).
+func RootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
 // SimPackages is the set of packages whose event ordering defines a
 // simulation outcome; the determinism and simtime analyzers apply
 // their strictest rules inside them. A seed or replay is only

@@ -25,6 +25,18 @@ type Package struct {
 	TypesInfo  *types.Info
 }
 
+// FileOf returns the syntax file containing pos, or nil. Interprocedural
+// extractors use it to find the comment map that scopes suppression
+// directives for a declaration they reached through the call graph.
+func (p *Package) FileOf(pos token.Pos) *ast.File {
+	for _, f := range p.Syntax {
+		if f.FileStart <= pos && pos <= f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
 // listedPackage is the subset of `go list -json` output the loader
 // consumes.
 type listedPackage struct {

@@ -1,7 +1,8 @@
 // Package determinism enforces the simulator's bit-reproducibility
 // contract inside the simulation packages (core, sim, machine,
-// network, directory, npb): the same seed must replay byte-identically
-// (the fuzzer's shrinking and -replay flows depend on it).
+// network, directory, npb, metrics, trace): the same seed must replay
+// byte-identically (the fuzzer's shrinking and -replay flows depend on
+// it).
 //
 // Three sources of run-to-run variation are banned there:
 //
@@ -17,15 +18,21 @@
 //     must flow through an explicitly seeded *rand.Rand so a seed in
 //     a flag or config reproduces the stream
 //
-// A fourth rule applies in every package, not just the simulation
-// scope: a worker closure handed to runner.Map or runner.MapEach must
-// not write variables captured from the enclosing scope. Workers run
-// on concurrent goroutines in scheduler order, so a captured write is
-// at best a data race and at worst a silent source of
-// completion-order-dependent results; workers communicate through
-// their return value (merged in run-index order), and ordered side
-// effects belong in MapEach's each callback, which the runner
-// serializes in ascending index order.
+// The checks are interprocedural: besides the direct syntactic rules,
+// the analyzer propagates "ranges a map" / "reads the wall clock" /
+// "uses global math/rand" facts bottom-up over the module call graph
+// (SCCs of mutually recursive helpers included), and flags any call
+// from a simulation package into a helper — in any other package —
+// that transitively reaches a violation. The diagnostic carries the
+// full call chain down to the leaf, so a sim package cannot launder a
+// time.Now through an innocent-looking utility. Violations whose leaf
+// lives inside another simulation package are not re-reported at the
+// call site: they are already flagged at the leaf (or at that
+// package's own exit-boundary call).
+//
+// The worker-closure rule that historically lived here (no captured
+// writes in runner.Map closures) moved to the pdessafety analyzer,
+// which generalizes it interprocedurally.
 package determinism
 
 import (
@@ -36,31 +43,30 @@ import (
 	"cenju4/internal/analysis/lintutil"
 )
 
-// Directive suppresses the map-range rule for one statement.
+// Directive suppresses the map-range rule for one statement — at the
+// leaf: a helper package's order-insensitive range must carry the
+// directive itself, which then also silences transitive reports at
+// every simulation-package caller.
 const Directive = "cenju4:order-insensitive"
 
 // Analyzer is the determinism pass.
 var Analyzer = &analysis.Analyzer{
 	Name: "determinism",
 	Doc: "simulation packages must not range over maps, read the wall " +
-		"clock, or use the global math/rand source; runner worker " +
-		"closures must not write captured variables",
+		"clock, or use the global math/rand source — directly or " +
+		"through helpers in other packages (call-graph facts)",
 	Run: run,
 }
 
-// runnerPath is the worker-pool package whose Map/MapEach worker
-// closures must be free of captured writes.
-const runnerPath = "cenju4/internal/runner"
+// Fact kinds propagated over the call graph.
+const (
+	factMapRange   = "determinism.maprange"
+	factWallClock  = "determinism.wallclock"
+	factGlobalRand = "determinism.globalrand"
+)
 
-// wallClock lists the time functions that read or depend on the host
-// clock. Pure value constructors (time.Duration arithmetic) are not
-// listed, but simulation packages have no business importing time at
-// all — the simtime analyzer enforces that separately.
-var wallClock = map[string]bool{
-	"Now": true, "Since": true, "Until": true, "Sleep": true,
-	"After": true, "Tick": true, "NewTimer": true, "NewTicker": true,
-	"AfterFunc": true,
-}
+// factKinds orders the kinds for deterministic reporting.
+var factKinds = []string{factMapRange, factWallClock, factGlobalRand}
 
 // seededRandOK lists the math/rand package functions that construct an
 // explicitly seeded generator rather than touching the global source.
@@ -69,15 +75,10 @@ var seededRandOK = map[string]bool{
 }
 
 func run(pass *analysis.Pass) error {
-	// The runner worker-closure rule guards every caller of the worker
-	// pool (fuzz, experiments, ...), so it runs before the simulation
-	// scope gate.
-	for _, f := range pass.Files {
-		checkRunnerClosures(pass, f)
-	}
 	if !lintutil.SimPackages[pass.Pkg.Path()] {
 		return nil
 	}
+	facts := moduleFacts(pass.Program)
 	for _, f := range pass.Files {
 		suppressed := lintutil.SuppressedLines(pass.Fset, f, Directive)
 		ast.Inspect(f, func(n ast.Node) bool {
@@ -86,11 +87,69 @@ func run(pass *analysis.Pass) error {
 				checkRange(pass, n, suppressed)
 			case *ast.CallExpr:
 				checkCall(pass, n)
+				checkTransitive(pass, facts, n)
 			}
 			return true
 		})
 	}
 	return nil
+}
+
+// moduleFacts computes (once per program) which module functions
+// directly or transitively range a map, read the wall clock, or touch
+// the global rand source. Local extraction applies the suppression
+// directive at the leaf, so an order-insensitive helper range never
+// becomes a fact.
+func moduleFacts(prog *analysis.Program) analysis.FactMap {
+	return prog.Cached("determinism.facts", func() any {
+		return prog.CallGraph.Propagate(localFacts)
+	}).(analysis.FactMap)
+}
+
+func localFacts(n *analysis.CGNode) []analysis.Fact {
+	file := n.Pkg.FileOf(n.Decl.Pos())
+	var suppressed map[int]bool
+	if file != nil {
+		suppressed = lintutil.SuppressedLines(n.Pkg.Fset, file, Directive)
+	}
+	var facts []analysis.Fact
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.RangeStmt:
+			tv, ok := n.Pkg.TypesInfo.Types[node.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if suppressed[n.Pkg.Fset.Position(node.For).Line] {
+				return true
+			}
+			facts = append(facts, analysis.Fact{
+				Kind: factMapRange,
+				Desc: "ranges over map " + types.ExprString(node.X),
+				Pos:  node.For,
+			})
+		case *ast.CallExpr:
+			if name, ok := lintutil.PkgFunc(n.Pkg.TypesInfo, node, "time"); ok && lintutil.WallClock[name] {
+				facts = append(facts, analysis.Fact{
+					Kind: factWallClock,
+					Desc: "calls time." + name,
+					Pos:  node.Pos(),
+				})
+			}
+			if name, ok := lintutil.PkgFunc(n.Pkg.TypesInfo, node, "math/rand"); ok && !seededRandOK[name] {
+				facts = append(facts, analysis.Fact{
+					Kind: factGlobalRand,
+					Desc: "calls rand." + name,
+					Pos:  node.Pos(),
+				})
+			}
+		}
+		return true
+	})
+	return facts
 }
 
 func checkRange(pass *analysis.Pass, rs *ast.RangeStmt, suppressed map[int]bool) {
@@ -109,95 +168,50 @@ func checkRange(pass *analysis.Pass, rs *ast.RangeStmt, suppressed map[int]bool)
 		types.ExprString(rs.X), Directive)
 }
 
-// checkRunnerClosures finds function literals passed as the worker fn
-// of runner.Map / runner.MapEach (the third argument) and flags writes
-// to variables declared outside the literal. The each callback of
-// MapEach is exempt: the runner invokes it serially, in ascending run
-// order, under its own lock, precisely so drivers can accumulate
-// ordered output there.
-func checkRunnerClosures(pass *analysis.Pass, f *ast.File) {
-	ast.Inspect(f, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		name, ok := lintutil.PkgFunc(pass.TypesInfo, call, runnerPath)
-		if !ok || (name != "Map" && name != "MapEach") || len(call.Args) < 3 {
-			return true
-		}
-		if fl, ok := call.Args[2].(*ast.FuncLit); ok {
-			checkCapturedWrites(pass, name, fl)
-		}
-		return true
-	})
-}
-
-func checkCapturedWrites(pass *analysis.Pass, fn string, fl *ast.FuncLit) {
-	ast.Inspect(fl.Body, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.AssignStmt:
-			for _, lhs := range n.Lhs {
-				checkCapturedWrite(pass, fn, fl, lhs)
-			}
-		case *ast.IncDecStmt:
-			checkCapturedWrite(pass, fn, fl, n.X)
-		}
-		return true
-	})
-}
-
-// checkCapturedWrite reports lhs if its root identifier resolves to a
-// variable declared outside the worker literal. Unwrapping to the root
-// catches writes through captured slices, maps, pointers and struct
-// fields (results[i] = v, *out = v, s.n++), while variables the worker
-// declares itself — including writes from closures nested inside it,
-// like engine callbacks — stay allowed.
-func checkCapturedWrite(pass *analysis.Pass, fn string, fl *ast.FuncLit, lhs ast.Expr) {
-	id := rootIdent(lhs)
-	if id == nil || id.Name == "_" {
-		return
-	}
-	obj := pass.TypesInfo.ObjectOf(id)
-	if obj == nil {
-		return
-	}
-	if _, isVar := obj.(*types.Var); !isVar {
-		return
-	}
-	if obj.Pos() >= fl.Pos() && obj.Pos() <= fl.End() {
-		return // declared inside the worker closure
-	}
-	pass.Reportf(lhs.Pos(),
-		"worker closure passed to runner.%s writes captured variable %s: workers run on concurrent goroutines and must communicate only through their return value (ordered side effects go in MapEach's each callback)",
-		fn, id.Name)
-}
-
-func rootIdent(e ast.Expr) *ast.Ident {
-	for {
-		switch x := e.(type) {
-		case *ast.Ident:
-			return x
-		case *ast.SelectorExpr:
-			e = x.X
-		case *ast.IndexExpr:
-			e = x.X
-		case *ast.StarExpr:
-			e = x.X
-		case *ast.ParenExpr:
-			e = x.X
-		default:
-			return nil
-		}
-	}
-}
-
+// checkCall flags direct violations: wall-clock and global-rand calls
+// written in the simulation package itself.
 func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
-	if name, ok := lintutil.PkgFunc(pass.TypesInfo, call, "time"); ok && wallClock[name] {
+	if name, ok := lintutil.PkgFunc(pass.TypesInfo, call, "time"); ok && lintutil.WallClock[name] {
 		pass.Reportf(call.Pos(),
 			"time.%s reads the wall clock in a simulation package; use sim.Engine virtual time", name)
 	}
 	if name, ok := lintutil.PkgFunc(pass.TypesInfo, call, "math/rand"); ok && !seededRandOK[name] {
 		pass.Reportf(call.Pos(),
 			"rand.%s uses the global math/rand source; draw from an explicitly seeded *rand.Rand plumbed from flags or config", name)
+	}
+}
+
+// checkTransitive flags calls from a simulation package into a module
+// function outside the simulation scope that transitively reaches a
+// banned construct, reporting the full call chain. Callees inside the
+// simulation scope are skipped: their violations are reported at the
+// leaf (or at their own exit-boundary call), so every problem surfaces
+// exactly once.
+func checkTransitive(pass *analysis.Pass, facts analysis.FactMap, call *ast.CallExpr) {
+	callee := analysis.StaticCallee(pass.TypesInfo, call)
+	if callee == nil || callee.Pkg() == nil {
+		return
+	}
+	if lintutil.SimPackages[callee.Pkg().Path()] || callee.Pkg().Path() == pass.Pkg.Path() {
+		return
+	}
+	remedy := map[string]string{
+		factMapRange:   "iterate sorted keys at the leaf or mark its loop \"" + Directive + "\"",
+		factWallClock:  "thread sim virtual time through instead",
+		factGlobalRand: "plumb an explicitly seeded *rand.Rand through instead",
+	}
+	noun := map[string]string{
+		factMapRange:   "ranges over a map",
+		factWallClock:  "reads the wall clock",
+		factGlobalRand: "uses the global math/rand source",
+	}
+	for _, kind := range factKinds {
+		if facts.Lookup(callee, kind) == nil {
+			continue
+		}
+		pass.Reportf(call.Pos(),
+			"call from a simulation package to %s, which transitively %s: %s; %s",
+			analysis.DisplayName(callee), noun[kind],
+			pass.Program.FactChain(facts, callee, kind), remedy[kind])
 	}
 }

@@ -1,14 +1,16 @@
 package determinism_test
 
 import (
+	"strings"
 	"testing"
 
+	"cenju4/internal/analysis"
 	"cenju4/internal/analysis/analysistest"
 	"cenju4/internal/analysis/passes/determinism"
 )
 
-// TestInSimulationScope checks the rules fire inside a package posing
-// as cenju4/internal/core.
+// TestInSimulationScope checks the direct rules fire inside a package
+// posing as cenju4/internal/core.
 func TestInSimulationScope(t *testing.T) {
 	analysistest.Run(t, "testdata/insim", determinism.Analyzer)
 }
@@ -18,10 +20,64 @@ func TestOutOfScope(t *testing.T) {
 	analysistest.Run(t, "testdata/outofscope", determinism.Analyzer)
 }
 
-// TestRunnerClosures checks the worker-closure rule: captured writes
-// inside runner.Map/MapEach worker fns are flagged in any package,
-// while worker-local state, nested callbacks and the serialized each
-// callback stay clean.
-func TestRunnerClosures(t *testing.T) {
-	analysistest.Run(t, "testdata/runnerclosure", determinism.Analyzer)
+// crosspkgDirs loads leaf -> middle -> simulation user, in dependency
+// order: the violations live in leafutil, two packages away from the
+// simulation scope.
+var crosspkgDirs = []string{
+	"testdata/crosspkg/leafutil",
+	"testdata/crosspkg/midlayer",
+	"testdata/crosspkg/simuser",
+}
+
+// TestCrossPackage checks fact propagation through an intermediate
+// package: the sim-scope fixture calls midlayer, midlayer calls
+// leafutil, and each diagnostic carries the chain down to the leaf.
+// It also checks the negative: a leaf range suppressed with
+// cenju4:order-insensitive never becomes a fact, so the whole chain
+// stays quiet.
+func TestCrossPackage(t *testing.T) {
+	analysistest.RunDirs(t, determinism.Analyzer, crosspkgDirs...)
+}
+
+// TestMutualRecursion checks SCC handling: mutually recursive helpers
+// must not hang fact propagation, and the taint from the one map range
+// inside the cycle must reach both entry points.
+func TestMutualRecursion(t *testing.T) {
+	analysistest.RunDirs(t, determinism.Analyzer,
+		"testdata/recursion/loopy", "testdata/recursion/simrec")
+}
+
+// TestPerPackageAnalysisMisses is the regression that motivated the
+// interprocedural engine: analyzed module-wide, the sim-scope fixture's
+// laundered time.Now is caught with its full call chain; analyzed the
+// old way — the simulation package alone, without the helper packages'
+// syntax — the same analyzer provably reports nothing.
+func TestPerPackageAnalysisMisses(t *testing.T) {
+	pkgs, err := analysistest.LoadDirs(crosspkgDirs...)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+
+	whole, err := analysis.RunAnalyzers(pkgs, []*analysis.Analyzer{determinism.Analyzer})
+	if err != nil {
+		t.Fatalf("module-wide run: %v", err)
+	}
+	const chain = "midlayer.Timestamp -> leafutil.Stamp: calls time.Now"
+	found := false
+	for _, f := range whole {
+		if strings.Contains(f.Message, chain) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("module-wide analysis did not report the laundered wall-clock read with chain %q; got %v", chain, whole)
+	}
+
+	solo, err := analysis.RunAnalyzers(pkgs[2:], []*analysis.Analyzer{determinism.Analyzer})
+	if err != nil {
+		t.Fatalf("single-package run: %v", err)
+	}
+	if len(solo) != 0 {
+		t.Errorf("single-package analysis unexpectedly reported %v — the cross-package test no longer proves anything", solo)
+	}
 }

@@ -1,0 +1,40 @@
+// Leaf helper package: the actual violations live here, two packages
+// away from the simulation code that ultimately reaches them. Nothing
+// is flagged in this package — it is not in the simulation scope — but
+// each banned construct becomes a call-graph fact.
+package leafutil
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp reads the wall clock.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// Sum ranges a map with randomized iteration order.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Jitter draws from the global math/rand source.
+func Jitter() int {
+	return rand.Intn(8)
+}
+
+// Keys ranges a map too, but the loop is marked order-insensitive at
+// the leaf — so no fact is recorded and no caller is flagged.
+func Keys(m map[string]int) int {
+	n := 0
+	//cenju4:order-insensitive counting is commutative
+	for range m {
+		n++
+	}
+	return n
+}

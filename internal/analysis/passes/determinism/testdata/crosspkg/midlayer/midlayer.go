@@ -1,0 +1,22 @@
+// Intermediate package: clean syntax, tainted facts. Every function
+// here merely forwards to leafutil, proving facts propagate through
+// packages that never touch a banned construct themselves.
+package midlayer
+
+import "cenju4/lintfixture/leafutil"
+
+func Timestamp() int64 {
+	return leafutil.Stamp()
+}
+
+func Total(m map[string]int) int {
+	return leafutil.Sum(m)
+}
+
+func Noise() int {
+	return leafutil.Jitter()
+}
+
+func CountKeys(m map[string]int) int {
+	return leafutil.Keys(m)
+}

@@ -1,0 +1,23 @@
+// Simulation-scope fixture: calls into midlayer, which calls into
+// leafutil, where the violations actually live. The per-package
+// analyzer of old saw only this file — syntactically spotless — and
+// reported nothing; the interprocedural analyzer flags each exit call
+// with the chain down to the leaf.
+//
+//lintfixture:path cenju4/internal/core
+package simuser
+
+import "cenju4/lintfixture/midlayer"
+
+func record(m map[string]int) int64 {
+	t := midlayer.Timestamp() // want `call from a simulation package to midlayer\.Timestamp, which transitively reads the wall clock: midlayer\.Timestamp -> leafutil\.Stamp: calls time\.Now \(leafutil\.go:\d+\); thread sim virtual time through instead`
+	_ = midlayer.Total(m)     // want `call from a simulation package to midlayer\.Total, which transitively ranges over a map: midlayer\.Total -> leafutil\.Sum: ranges over map m \(leafutil\.go:\d+\)`
+	_ = midlayer.Noise()      // want `call from a simulation package to midlayer\.Noise, which transitively uses the global math/rand source: midlayer\.Noise -> leafutil\.Jitter: calls rand\.Intn \(leafutil\.go:\d+\)`
+	return t
+}
+
+// Suppression applies at the leaf: leafutil.Keys marked its range
+// order-insensitive, so the whole chain stays quiet.
+func countOnly(m map[string]int) int {
+	return midlayer.CountKeys(m)
+}

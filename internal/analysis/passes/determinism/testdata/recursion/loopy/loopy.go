@@ -1,0 +1,20 @@
+// Mutually recursive helpers: Ping and Pong form a strongly connected
+// component in the call graph. Fact propagation must terminate on the
+// cycle and still taint both functions (the map range sits in Pong;
+// Ping acquires it around the loop).
+package loopy
+
+func Ping(m map[int]int, d int) int {
+	if d <= 0 {
+		return 0
+	}
+	return Pong(m, d-1)
+}
+
+func Pong(m map[int]int, d int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n + Ping(m, d-1)
+}

@@ -1,0 +1,14 @@
+// Simulation-scope caller of the mutually recursive helpers. Both
+// entry points are tainted by the one map range inside the SCC, and
+// the diagnostic chain stops at the function that holds the leaf.
+//
+//lintfixture:path cenju4/internal/machine
+package simrec
+
+import "cenju4/lintfixture/loopy"
+
+func drive(m map[int]int) int {
+	a := loopy.Ping(m, 4) // want `call from a simulation package to loopy\.Ping, which transitively ranges over a map: loopy\.Ping -> loopy\.Pong: ranges over map m \(loopy\.go:\d+\)`
+	b := loopy.Pong(m, 4) // want `call from a simulation package to loopy\.Pong, which transitively ranges over a map: loopy\.Pong: ranges over map m \(loopy\.go:\d+\)`
+	return a + b
+}

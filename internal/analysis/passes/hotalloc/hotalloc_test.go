@@ -1,0 +1,24 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"cenju4/internal/analysis/analysistest"
+	"cenju4/internal/analysis/passes/hotalloc"
+)
+
+// TestAllocationTaxonomy checks every allocation shape the analyzer
+// knows — and the exemptions (panic paths, amortized appends, sized
+// makes, alloc-ok suppressions, unreachable functions) — inside one
+// package.
+func TestAllocationTaxonomy(t *testing.T) {
+	analysistest.Run(t, "testdata/hot", hotalloc.Analyzer)
+}
+
+// TestCrossPackageReach checks that reachability crosses package
+// boundaries: a root in hotcross taints a constructor in coldlib, and
+// the diagnostic is reported at the allocation site with the root path.
+func TestCrossPackageReach(t *testing.T) {
+	analysistest.RunDirs(t, hotalloc.Analyzer,
+		"testdata/coldlib", "testdata/hotcross")
+}

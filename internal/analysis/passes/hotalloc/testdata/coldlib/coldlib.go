@@ -1,0 +1,18 @@
+// Helper package for the cross-package reachability test: a perfectly
+// reasonable constructor that becomes a hot-path violation only because
+// a marked root in another package calls it. The diagnostic lands here,
+// at the allocation site, with the chain from the root.
+package coldlib
+
+type Thing struct {
+	ID int
+}
+
+func NewThing(id int) *Thing {
+	return &Thing{ID: id} // want `hot path: composite literal escapes to the heap \(&T\{\.\.\.\}\) in coldlib\.NewThing \(reachable from //cenju4:hotpath root: hotcross\.spin -> hotcross\.build -> coldlib\.NewThing\)`
+}
+
+// Free of allocations: reachable but clean.
+func Size(t *Thing) int {
+	return t.ID
+}

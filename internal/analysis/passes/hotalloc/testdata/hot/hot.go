@@ -1,0 +1,66 @@
+// Fixture for the hotalloc allocation taxonomy inside one package: a
+// marked root, a helper it reaches, a cold function the analyzer must
+// ignore, and the exemptions (panic paths, amortized appends, justified
+// suppressions).
+package hot
+
+import "fmt"
+
+type entry struct {
+	id   int
+	next *entry
+}
+
+type queue struct {
+	items []int
+}
+
+//cenju4:hotpath
+func fire(q *queue, n int) int {
+	e := &entry{id: n}            // want `hot path: composite literal escapes to the heap \(&T\{\.\.\.\}\) in hot\.fire`
+	p := new(entry)               // want `hot path: new\(\.\.\.\) heap allocation in hot\.fire`
+	buf := make([]int, 0, n)      // want `hot path: make allocates in hot\.fire`
+	names := []string{"a", "b"}   // want `hot path: slice literal allocates its backing array in hot\.fire`
+	index := map[int]int{}        // want `hot path: map literal allocates in hot\.fire`
+	s := fmt.Sprintf("%d", n)     // want `hot path: fmt\.Sprintf formats and boxes its arguments in hot\.fire`
+	cb := func() int { return n } // want `hot path: closure captures variables and allocates per evaluation in hot\.fire`
+
+	var grown []int
+	grown = append(grown, n) // want `hot path: append growth without preallocation in hot\.fire`
+
+	// Amortized in-place growth of structure-owned capacity: allowed.
+	q.items = append(q.items, n)
+	// Appending to a slice created by a sized make in this function:
+	// the make was the preallocation, the appends ride its capacity.
+	buf = append(buf, n)
+
+	if n < 0 {
+		panic(fmt.Sprintf("bad n %d", n)) // cold failure path: exempt
+	}
+	return e.id + p.id + len(buf) + len(names) + len(index) + len(s) + cb() + len(grown) + helper(n)
+}
+
+// helper is not marked, but it is reachable from the root — its
+// allocation is flagged with the path that makes it hot.
+func helper(n int) int {
+	spare := &entry{id: n} // want `hot path: composite literal escapes to the heap \(&T\{\.\.\.\}\) in hot\.helper \(reachable from //cenju4:hotpath root: hot\.fire -> hot\.helper\)`
+	return spare.id
+}
+
+// justified shows the suppression: the allocation rides the root's
+// reachable set but carries an alloc-ok with a reason.
+//
+//cenju4:hotpath
+func justified(n int) *entry {
+	//cenju4:alloc-ok one-time warmup allocation, reused for the run
+	return &entry{id: n}
+}
+
+// cold is reachable from nothing marked: allocate freely.
+func cold(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

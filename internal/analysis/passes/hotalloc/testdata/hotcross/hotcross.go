@@ -1,0 +1,20 @@
+// Root package for the cross-package reachability test: the hot root
+// reaches coldlib.NewThing through a local helper, so the allocation
+// two hops away — in another package — is flagged there.
+package hotcross
+
+import "cenju4/lintfixture/coldlib"
+
+//cenju4:hotpath
+func spin(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += build(i)
+	}
+	return total
+}
+
+func build(i int) int {
+	t := coldlib.NewThing(i)
+	return coldlib.Size(t)
+}

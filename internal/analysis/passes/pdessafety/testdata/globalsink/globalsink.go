@@ -1,0 +1,26 @@
+// Helper package for the transitive global-write rule: innocuous
+// looking accounting helpers that mutate package-level state. Nothing
+// is flagged here — the violation is calling these from a runner.Map
+// worker, which the sweep fixture does.
+package globalsink
+
+var hits int
+
+var lastValue int
+
+// Bump is the racy-counter shape: a read-modify-write of package state.
+func Bump(i int) int {
+	hits++
+	return i
+}
+
+// Record is a plain store to package state.
+func Record(i int) int {
+	lastValue = i
+	return i
+}
+
+// Observe is clean: reads are not writes.
+func Observe(i int) int {
+	return i + hits
+}

@@ -21,7 +21,7 @@ var pkgCounter int
 
 func packageLevelWrite(n int) {
 	runner.Map(runner.Options{}, n, func(i int) int {
-		pkgCounter++ // want `worker closure passed to runner.Map writes captured variable pkgCounter`
+		pkgCounter++ // want `worker closure passed to runner.Map writes package-level variable pkgCounter \(shared across workers\)`
 		return i
 	})
 }

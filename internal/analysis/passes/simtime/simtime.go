@@ -4,13 +4,21 @@
 // may never leak into it:
 //
 //   - the simulation packages (core, sim, machine, network,
-//     directory, npb) must not import "time" at all; latencies and
-//     delays there are sim.Time values
+//     directory, npb, metrics, trace) must not import "time" at all;
+//     latencies and delays there are sim.Time values
 //   - anywhere in the module, a function with access to a *sim.Engine
 //     (an Engine parameter, or a method on a struct holding one) is
 //     an event-handler context: it must not call time.Now, time.Since
 //     or friends — durations measured there must come from
 //     Engine.Now deltas
+//
+// The second rule is interprocedural: an event-handler context must
+// not reach the wall clock through helpers either, in this package or
+// any other. The analyzer propagates a "reads the wall clock" fact
+// bottom-up over the module call graph and flags handler calls into
+// tainted helpers with the full call chain. Helpers that are
+// themselves event-handler contexts are not re-reported at the call
+// site — they get their own diagnostics.
 //
 // Drivers without an engine in scope (cmd/cenju4-bench timing a whole
 // run of the real process) may still use the wall clock.
@@ -29,16 +37,16 @@ import (
 var Analyzer = &analysis.Analyzer{
 	Name: "simtime",
 	Doc: "event-handler contexts must use sim.Engine virtual time, " +
-		"never the wall clock",
+		"never the wall clock — directly or through helpers " +
+		"(call-graph facts)",
 	Run: run,
 }
 
-var wallClock = map[string]bool{
-	"Now": true, "Since": true, "Until": true, "Sleep": true, "After": true,
-}
+const factWallClock = "simtime.wallclock"
 
 func run(pass *analysis.Pass) error {
 	simPkg := lintutil.SimPackages[pass.Pkg.Path()]
+	facts := moduleFacts(pass.Program)
 	for _, f := range pass.Files {
 		if simPkg {
 			for _, imp := range f.Imports {
@@ -54,47 +62,96 @@ func run(pass *analysis.Pass) error {
 			if !ok || fd.Body == nil {
 				continue
 			}
-			if !hasEngineAccess(pass, fd) {
+			if !hasEngineAccess(pass.TypesInfo, fd) {
 				continue
 			}
-			checkBody(pass, fd)
+			checkBody(pass, facts, fd)
 		}
 	}
 	return nil
 }
 
-// checkBody flags wall-clock calls inside an event-handler context.
-// Function literals nested in the handler (scheduled callbacks) are
-// included: they run from the event queue.
-func checkBody(pass *analysis.Pass, fd *ast.FuncDecl) {
+// moduleFacts computes (once per program) which module functions
+// transitively read the wall clock.
+func moduleFacts(prog *analysis.Program) analysis.FactMap {
+	return prog.Cached("simtime.facts", func() any {
+		return prog.CallGraph.Propagate(func(n *analysis.CGNode) []analysis.Fact {
+			var facts []analysis.Fact
+			ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+				call, ok := node.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if name, ok := lintutil.PkgFunc(n.Pkg.TypesInfo, call, "time"); ok && lintutil.WallClock[name] {
+					facts = append(facts, analysis.Fact{
+						Kind: factWallClock,
+						Desc: "calls time." + name,
+						Pos:  call.Pos(),
+					})
+				}
+				return true
+			})
+			return facts
+		})
+	}).(analysis.FactMap)
+}
+
+// checkBody flags wall-clock access inside an event-handler context:
+// direct calls, and calls into module helpers that transitively reach
+// the clock. Function literals nested in the handler (scheduled
+// callbacks) are included: they run from the event queue.
+func checkBody(pass *analysis.Pass, facts analysis.FactMap, fd *ast.FuncDecl) {
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
 			return true
 		}
-		if name, ok := lintutil.PkgFunc(pass.TypesInfo, call, "time"); ok && wallClock[name] {
+		if name, ok := lintutil.PkgFunc(pass.TypesInfo, call, "time"); ok && lintutil.WallClock[name] {
 			pass.Reportf(call.Pos(),
 				"%s has access to a *sim.Engine but calls time.%s; event handlers must measure with the engine's virtual clock (Engine.Now deltas)",
 				fd.Name.Name, name)
+			return true
 		}
+		checkTransitive(pass, facts, fd, call)
 		return true
 	})
+}
+
+// checkTransitive flags handler calls into helpers that reach the wall
+// clock. Helpers that are themselves event-handler contexts are
+// skipped — the analyzer reports them where they are declared.
+func checkTransitive(pass *analysis.Pass, facts analysis.FactMap, fd *ast.FuncDecl, call *ast.CallExpr) {
+	callee := analysis.StaticCallee(pass.TypesInfo, call)
+	if callee == nil || callee.Pkg() == nil {
+		return
+	}
+	if facts.Lookup(callee, factWallClock) == nil {
+		return
+	}
+	node := pass.Program.CallGraph.Node(callee)
+	if node != nil && hasEngineAccess(node.Pkg.TypesInfo, node.Decl) {
+		return // the callee is its own event-handler context: flagged there
+	}
+	pass.Reportf(call.Pos(),
+		"%s has access to a *sim.Engine but calls %s, which transitively reads the wall clock: %s; event handlers must measure with the engine's virtual clock",
+		fd.Name.Name, analysis.DisplayName(callee),
+		pass.Program.FactChain(facts, callee, factWallClock))
 }
 
 // hasEngineAccess reports whether fd can see a *sim.Engine: through a
 // parameter, through its receiver being (a pointer to) Engine itself,
 // or through a direct field of its receiver's struct type.
-func hasEngineAccess(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+func hasEngineAccess(info *types.Info, fd *ast.FuncDecl) bool {
 	if fd.Recv != nil {
 		for _, field := range fd.Recv.List {
-			if t, ok := pass.TypesInfo.Types[field.Type]; ok && typeReachesEngine(t.Type) {
+			if t, ok := info.Types[field.Type]; ok && typeReachesEngine(t.Type) {
 				return true
 			}
 		}
 	}
 	if fd.Type.Params != nil {
 		for _, field := range fd.Type.Params.List {
-			if t, ok := pass.TypesInfo.Types[field.Type]; ok && isEngine(t.Type) {
+			if t, ok := info.Types[field.Type]; ok && isEngine(t.Type) {
 				return true
 			}
 		}

@@ -18,3 +18,12 @@ func TestHandlers(t *testing.T) {
 func TestSimPackageImportBan(t *testing.T) {
 	analysistest.Run(t, "testdata/simpkg", simtime.Analyzer)
 }
+
+// TestCrossPackageHelpers checks the interprocedural rule: an
+// event-handler context that reaches time.Now/Since through a helper
+// package is flagged at its call site with the chain to the leaf,
+// while engine-free callers of the same helper stay clean.
+func TestCrossPackageHelpers(t *testing.T) {
+	analysistest.RunDirs(t, simtime.Analyzer,
+		"testdata/clockhelper", "testdata/handlercross")
+}

@@ -1,0 +1,18 @@
+// Helper package that legitimately reads the wall clock: it is not a
+// simulation package and has no engine in scope, so nothing is flagged
+// here. Calling it from an event-handler context is the violation.
+package clockhelper
+
+import "time"
+
+var epoch = time.Now()
+
+// ElapsedMillis reads the wall clock.
+func ElapsedMillis() int64 {
+	return time.Since(epoch).Milliseconds()
+}
+
+// Pure is clean: no clock anywhere below it.
+func Pure(x int64) int64 {
+	return x * 2
+}

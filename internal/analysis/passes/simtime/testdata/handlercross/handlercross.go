@@ -1,0 +1,27 @@
+// Event-handler contexts that launder wall-clock reads through a
+// helper package. The direct rule cannot see these — no time.* call
+// appears in this file — so they exercise the call-graph facts.
+package handlercross
+
+import (
+	"cenju4/internal/sim"
+	"cenju4/lintfixture/clockhelper"
+)
+
+type controller struct {
+	eng *sim.Engine
+}
+
+func (c *controller) onMessage() int64 {
+	return clockhelper.ElapsedMillis() // want `onMessage has access to a \*sim\.Engine but calls clockhelper\.ElapsedMillis, which transitively reads the wall clock: clockhelper\.ElapsedMillis: calls time\.Since \(clockhelper\.go:\d+\)`
+}
+
+func step(eng *sim.Engine, x int64) int64 {
+	return clockhelper.Pure(x) + clockhelper.ElapsedMillis() // want `step has access to a \*sim\.Engine but calls clockhelper\.ElapsedMillis, which transitively reads the wall clock`
+}
+
+// noEngine has no engine in scope: helpers reading the clock are its
+// own business.
+func noEngine() int64 {
+	return clockhelper.ElapsedMillis()
+}

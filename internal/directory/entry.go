@@ -314,9 +314,25 @@ func (d Dest) Contains(n topology.NodeID) bool {
 	return false
 }
 
+// singles holds one preconstructed single-element pointer list per
+// possible node, so Single — called once per multicast copy and per
+// singlecast-expansion copy in the network — builds its Dest without
+// allocating. The backing arrays are shared: Dest values are treated as
+// immutable everywhere (callers only read Pointers), which keeps the
+// aliasing safe.
+var singles [topology.MaxNodes][1]topology.NodeID
+
+func init() {
+	for i := range singles {
+		singles[i][0] = topology.NodeID(i)
+	}
+}
+
 // Single returns a destination spec for exactly one node.
+//
+//cenju4:hotpath
 func Single(n topology.NodeID) Dest {
-	return Dest{Pointers: []topology.NodeID{n}}
+	return Dest{Pointers: singles[n][:]}
 }
 
 // AllNodes returns a bit-pattern destination covering exactly nodes

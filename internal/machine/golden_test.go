@@ -82,7 +82,7 @@ func goldenMatrix() []goldenCase {
 			for _, mc := range []bool{true, false} {
 				for seed := uint64(1); seed <= 2; seed++ {
 					cases = append(cases, goldenCase{
-						name: fmt.Sprintf("n%d-%v-mc%t-s%d", nodes, mode, mc, seed),
+						name:  fmt.Sprintf("n%d-%v-mc%t-s%d", nodes, mode, mc, seed),
 						nodes: nodes, mode: mode, multicast: mc, seed: seed,
 					})
 				}

@@ -24,8 +24,11 @@ type Pool struct {
 
 // Get returns a zeroed Message, reusing a released record when one is
 // available.
+//
+//cenju4:hotpath
 func (p *Pool) Get() *Message {
 	if p == nil {
+		//cenju4:alloc-ok a nil pool opts out of recycling by contract
 		return &Message{}
 	}
 	if n := len(p.free); n > 0 {
@@ -35,11 +38,14 @@ func (p *Pool) Get() *Message {
 		m.inPool = false
 		return m
 	}
+	//cenju4:alloc-ok pool miss grows the steady-state working set once, then recycles
 	return &Message{}
 }
 
 // New returns a pooled copy of proto. proto is a value, so call sites
 // keep composite-literal form: pool.New(Message{Kind: ..., ...}).
+//
+//cenju4:hotpath
 func (p *Pool) New(proto Message) *Message {
 	m := p.Get()
 	*m = proto
@@ -48,6 +54,8 @@ func (p *Pool) New(proto Message) *Message {
 
 // Clone returns a pooled copy of m (the network's fan-out primitive).
 // Cloning a released message panics: it is a use-after-release.
+//
+//cenju4:hotpath
 func (p *Pool) Clone(m *Message) *Message {
 	if m.inPool {
 		panic("msg: Clone of a released message")
@@ -60,6 +68,8 @@ func (p *Pool) Clone(m *Message) *Message {
 // the same record twice panics: the second owner would observe its
 // message rewritten mid-flight. Put(nil) and Put on a nil pool are
 // no-ops.
+//
+//cenju4:hotpath
 func (p *Pool) Put(m *Message) {
 	if p == nil || m == nil {
 		return

@@ -139,6 +139,62 @@ type Network struct {
 
 	nextGatherID  uint64
 	activeGathers int
+
+	// Hot-path scratch pools, all single-threaded like the engine:
+	// memberBuf backs Send's destination expansion, freeDeliveries
+	// recycles the per-event delivery records handed to sim.AtCall, and
+	// freeGathers recycles per-(gather, switch) merge entries.
+	memberBuf      []topology.NodeID
+	freeDeliveries []*deliveryEvent
+	freeGathers    []*gatherEntry
+}
+
+// deliveryEvent carries one scheduled handler invocation through the event
+// queue. Together with runDelivery and Engine.AtCall it replaces the
+// closure the network used to allocate per delivered message.
+type deliveryEvent struct {
+	n    *Network
+	m    *msg.Message
+	node topology.NodeID
+}
+
+// runDelivery fires one delivery: the record is recycled before the
+// handler runs, so handlers that send (and thus deliver) more messages
+// reuse it immediately.
+//
+//cenju4:hotpath
+func runDelivery(x any) {
+	d := x.(*deliveryEvent)
+	n, m, node := d.n, d.m, d.node
+	d.m = nil
+	n.freeDeliveries = append(n.freeDeliveries, d)
+	n.handlers[node](m)
+	n.cfg.Pool.Put(m)
+}
+
+// allocDelivery returns a delivery record bound to n.
+func (n *Network) allocDelivery() *deliveryEvent {
+	if k := len(n.freeDeliveries); k > 0 {
+		d := n.freeDeliveries[k-1]
+		n.freeDeliveries[k-1] = nil
+		n.freeDeliveries = n.freeDeliveries[:k-1]
+		return d
+	}
+	//cenju4:alloc-ok pool miss grows the steady-state working set once, then recycles
+	return &deliveryEvent{n: n}
+}
+
+// allocGatherEntry returns a zeroed gather entry.
+func (n *Network) allocGatherEntry() *gatherEntry {
+	if k := len(n.freeGathers); k > 0 {
+		ge := n.freeGathers[k-1]
+		n.freeGathers[k-1] = nil
+		n.freeGathers = n.freeGathers[:k-1]
+		*ge = gatherEntry{}
+		return ge
+	}
+	//cenju4:alloc-ok pool miss grows the steady-state working set once, then recycles
+	return &gatherEntry{}
 }
 
 // New builds a network. The engine drives delivery events.
@@ -166,6 +222,8 @@ func New(eng *sim.Engine, cfg Config) *Network {
 
 		stageBusy: make([]sim.Time, cfg.Stages),
 		stageHops: make([]uint64, cfg.Stages),
+
+		memberBuf: make([]topology.NodeID, 0, cfg.Nodes),
 	}
 	return n
 }
@@ -257,22 +315,24 @@ func (n *Network) walkUnicast(src, dst int, t sim.Time, data bool) sim.Time {
 // message is released to the pool (if any) when the handler returns:
 // delivery is the end of the network's ownership, and pooled handlers
 // are required not to retain.
+//
+//cenju4:hotpath
 func (n *Network) deliver(m *msg.Message, node topology.NodeID, t sim.Time) {
-	h := n.handlers[node]
-	if h == nil {
+	if n.handlers[node] == nil {
 		panic(fmt.Sprintf("network: no handler attached at %v", node))
 	}
 	n.stats.Deliveries++
-	n.eng.At(t, func() {
-		h(m)
-		n.cfg.Pool.Put(m)
-	})
+	d := n.allocDelivery()
+	d.m, d.node = m, node
+	n.eng.AtCall(t, runDelivery, d)
 }
 
 // Send injects a message. Singlecast messages go to the single node in
 // m.Dest; multi-destination messages are multicast (or expanded to
 // singlecasts when multicast is disabled); messages with a Gather are
 // combined in-network on their way to the gather's home node.
+//
+//cenju4:hotpath
 func (n *Network) Send(m *msg.Message) {
 	now := n.eng.Now()
 	m.SentAt = now
@@ -284,7 +344,10 @@ func (n *Network) Send(m *msg.Message) {
 		n.walkGather(m, now)
 		return
 	}
-	members := m.Dest.Members(nil, n.cfg.Nodes)
+	// memberBuf is scratch for this call only: deliveries copy the one
+	// NodeID they need, and handlers run from the event queue, after
+	// Send returned.
+	members := m.Dest.Members(n.memberBuf[:0], n.cfg.Nodes)
 	switch {
 	case len(members) == 0:
 		panic("network: message with empty destination")
@@ -442,11 +505,13 @@ func (n *Network) walkGather(m *msg.Message, t sim.Time) {
 	for k := 0; k < n.stages; k++ {
 		sw := n.switchFor(k, src, home)
 		if sw.gathers == nil {
+			//cenju4:alloc-ok created once per switch, retained for the network's lifetime
 			sw.gathers = make(map[uint64]*gatherEntry)
 		}
 		ge := sw.gathers[g.ID]
 		if ge == nil {
-			ge = &gatherEntry{waitMask: n.waitPattern(g.Spec, src, k)}
+			ge = n.allocGatherEntry()
+			ge.waitMask = n.waitPattern(g.Spec, src, k)
 			sw.gathers[g.ID] = ge
 		}
 		inPort := n.digit(src, k)
@@ -466,6 +531,7 @@ func (n *Network) walkGather(m *msg.Message, t sim.Time) {
 		merged = ge.merged
 		t = ge.latest + p.GatherMerge
 		delete(sw.gathers, g.ID)
+		n.freeGathers = append(n.freeGathers, ge)
 		port := n.digit(home, k)
 		start := n.claim(&sw.portBusy[port], t, ser)
 		t = start + hop

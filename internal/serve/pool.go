@@ -113,6 +113,13 @@ type Pool struct {
 	queue    chan *Job
 	drained  chan struct{} // closed when the dispatcher exits
 
+	// Shared counters follow the pdessafety discipline for state
+	// touched from runner.Map workers and concurrent submitters: every
+	// access is an atomic.Uint64 Add/Load, never a bare x++ (a
+	// read-modify-write the lint would flag as a racy counter).
+	// submitted/coalesced/rejected are bumped by Submit callers under
+	// mu; completed/failed/batches are bumped from batch completions on
+	// worker goroutines.
 	submitted, coalesced, rejected atomic.Uint64
 	completed, failed, batches     atomic.Uint64
 }

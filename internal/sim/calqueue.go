@@ -58,6 +58,8 @@ func (q *calQueue) resetCursor(t Time) {
 // before the current window (only possible for inserts at the engine's
 // current time after the cursor drained past it — e.g. work scheduled
 // by an idle callback).
+//
+//cenju4:hotpath
 func (q *calQueue) push(ev *Event) {
 	if q.size == 0 || ev.at < q.bucketTop-q.width() {
 		q.resetCursor(ev.at)
@@ -73,6 +75,8 @@ func (q *calQueue) push(ev *Event) {
 // pop removes and returns the minimum live event by (at, seq), or nil
 // when the queue is empty. Dead entries encountered on the way are
 // dropped.
+//
+//cenju4:hotpath
 func (q *calQueue) pop() *Event {
 	if q.size == 0 {
 		return nil
@@ -171,6 +175,7 @@ func (q *calQueue) popMinDirect() *Event {
 // rebuild re-spreads the live events over a bucket count sized for the
 // population and a width sized for the live span, dropping tombstones.
 func (q *calQueue) rebuild() {
+	//cenju4:alloc-ok rebuilds are O(live) and amortize across the pushes that doubled occupancy
 	live := make([]*Event, 0, q.size)
 	for _, b := range q.buckets {
 		for _, ev := range b {
@@ -186,6 +191,7 @@ func (q *calQueue) rebuild() {
 	for nb < 2*len(live) {
 		nb <<= 1
 	}
+	//cenju4:alloc-ok same amortization as the live slice above
 	q.buckets = make([][]*Event, nb)
 	q.mask = uint64(nb) - 1
 

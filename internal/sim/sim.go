@@ -32,11 +32,16 @@ func (t Time) Microseconds() float64 { return float64(t) / 1e3 }
 
 func (t Time) String() string { return fmt.Sprintf("%dns", uint64(t)) }
 
-// Event is a unit of scheduled work.
+// Event is a unit of scheduled work: either a plain callback (fn, from
+// At/After) or a callback-with-argument (fnc+arg, from AtCall — the
+// allocation-free form: a package-level func plus a pointer-shaped
+// argument needs no closure object per event).
 type Event struct {
 	at     Time
 	seq    uint64
 	fn     func()
+	fnc    func(any)
+	arg    any
 	dead   bool // canceled before firing
 	queued bool // currently in the calendar queue
 }
@@ -95,6 +100,7 @@ func (e *Engine) alloc() *Event {
 		return ev
 	}
 	if len(e.chunk) == 0 {
+		//cenju4:alloc-ok one block allocation amortizes over eventChunk schedules
 		e.chunk = make([]Event, eventChunk)
 	}
 	ev := &e.chunk[0]
@@ -105,14 +111,27 @@ func (e *Engine) alloc() *Event {
 // recycle returns a finished event record to the pool.
 func (e *Engine) recycle(ev *Event) {
 	ev.fn = nil
+	ev.fnc = nil
+	ev.arg = nil
 	ev.queued = false
 	e.free = append(e.free, ev)
+}
+
+// fire runs the event's callback after the record has been recycled.
+func fire(fn func(), fnc func(any), arg any) {
+	if fnc != nil {
+		fnc(arg)
+		return
+	}
+	fn()
 }
 
 // At schedules fn to run at absolute time t. Scheduling in the past
 // panics: it always indicates a model bug. Scheduling while the engine
 // is stopped (or after Stop, before the next Run) is allowed; the event
 // waits for the next Run/RunUntil.
+//
+//cenju4:hotpath
 func (e *Engine) At(t Time, fn func()) *Event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
@@ -124,7 +143,28 @@ func (e *Engine) At(t Time, fn func()) *Event {
 	return ev
 }
 
+// AtCall schedules fn(arg) at absolute time t. It is the
+// allocation-free variant of At for per-event scheduling on hot paths:
+// fn is typically a package-level function (a static func value) and
+// arg a pointer to a pooled record, so — unlike an At closure capturing
+// the same state — nothing escapes to the heap per event. Semantics
+// (ordering, panics, Cancel) are identical to At.
+//
+//cenju4:hotpath
+func (e *Engine) AtCall(t Time, fn func(any), arg any) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	ev := e.alloc()
+	*ev = Event{at: t, seq: e.seq, fnc: fn, arg: arg, queued: true}
+	e.seq++
+	e.queue.push(ev)
+	return ev
+}
+
 // After schedules fn to run d nanoseconds from now.
+//
+//cenju4:hotpath
 func (e *Engine) After(d Time, fn func()) *Event {
 	return e.At(e.now+d, fn)
 }
@@ -146,6 +186,8 @@ func (e *Engine) Cancel(ev *Event) {
 
 // Step executes the single earliest event. It reports false when the
 // queue is empty.
+//
+//cenju4:hotpath
 func (e *Engine) Step() bool {
 	ev := e.queue.pop()
 	if ev == nil {
@@ -153,9 +195,9 @@ func (e *Engine) Step() bool {
 	}
 	e.now = ev.at
 	e.fired++
-	fn := ev.fn
+	fn, fnc, arg := ev.fn, ev.fnc, ev.arg
 	e.recycle(ev)
-	fn()
+	fire(fn, fnc, arg)
 	return true
 }
 
@@ -220,6 +262,8 @@ func (e *Engine) RunChunk(limit uint64) (fired uint64, more bool) {
 // the deadline remain queued; the clock is left at the last fired event
 // (or advanced to the deadline if nothing fired at it). Like Run it
 // clears a stale Stop on entry and returns early when Stop is called.
+//
+//cenju4:hotpath
 func (e *Engine) RunUntil(deadline Time) uint64 {
 	start := e.fired
 	e.stopped = false
@@ -234,9 +278,9 @@ func (e *Engine) RunUntil(deadline Time) uint64 {
 		}
 		e.now = ev.at
 		e.fired++
-		fn := ev.fn
+		fn, fnc, arg := ev.fn, ev.fnc, ev.arg
 		e.recycle(ev)
-		fn()
+		fire(fn, fnc, arg)
 	}
 	if e.now < deadline && !e.stopped {
 		e.now = deadline
