@@ -1,0 +1,231 @@
+package cache
+
+// Differential property test: the packed move-to-front Cache must be
+// observationally equivalent to the tick-LRU struct-per-line reference
+// it replaced. Both are driven by identical randomized op sequences
+// (Access load/store, Insert, SetState incl. invalidations, State
+// probes, Flush) and must agree on every return value, every victim,
+// all counters, and occupancy. This is the layer-local proof backing
+// the golden-digest equivalence at machine scope.
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"cenju4/internal/topology"
+)
+
+// refLine / refCache reproduce the pre-compaction implementation
+// verbatim (struct lines, monotonic tick LRU, eager backing array).
+type refLine struct {
+	addr  topology.Addr
+	state LineState
+	lru   uint64
+}
+
+type refCache struct {
+	sets  [][]refLine
+	nsets int
+	tick  uint64
+	stats Stats
+}
+
+func newRef(cfg Config) *refCache {
+	cfg = cfg.withDefaults()
+	nsets := cfg.SizeBytes / (topology.BlockSize * cfg.Ways)
+	sets := make([][]refLine, nsets)
+	backing := make([]refLine, nsets*cfg.Ways)
+	for i := range sets {
+		sets[i] = backing[i*cfg.Ways : (i+1)*cfg.Ways]
+	}
+	return &refCache{sets: sets, nsets: nsets}
+}
+
+func (c *refCache) set(addr topology.Addr) []refLine {
+	return c.sets[int(uint64(addr)>>topology.BlockShift)&(c.nsets-1)]
+}
+
+func (c *refCache) find(block topology.Addr) *refLine {
+	s := c.set(block)
+	for i := range s {
+		if s[i].state != Invalid && s[i].addr == block {
+			return &s[i]
+		}
+	}
+	return nil
+}
+
+func (c *refCache) state(addr topology.Addr) LineState {
+	if l := c.find(addr.Block()); l != nil {
+		return l.state
+	}
+	return Invalid
+}
+
+func (c *refCache) access(addr topology.Addr, store bool) (LineState, bool) {
+	l := c.find(addr.Block())
+	if l == nil {
+		c.stats.Misses++
+		return Invalid, false
+	}
+	c.tick++
+	l.lru = c.tick
+	if !store {
+		c.stats.Hits++
+		return l.state, true
+	}
+	switch l.state {
+	case Modified:
+		c.stats.Hits++
+		return Modified, true
+	case Exclusive:
+		l.state = Modified
+		c.stats.Hits++
+		return Exclusive, true
+	default: // Shared
+		c.stats.Misses++
+		return Shared, false
+	}
+}
+
+func (c *refCache) setState(addr topology.Addr, st LineState) {
+	l := c.find(addr.Block())
+	if l == nil {
+		return
+	}
+	if st == Invalid {
+		c.stats.Invalidates++
+	}
+	l.state = st
+}
+
+func (c *refCache) insert(addr topology.Addr, st LineState) Victim {
+	block := addr.Block()
+	if l := c.find(block); l != nil {
+		l.state = st
+		c.tick++
+		l.lru = c.tick
+		return Victim{}
+	}
+	s := c.set(block)
+	victim := &s[0]
+	for i := range s {
+		if s[i].state == Invalid {
+			victim = &s[i]
+			break
+		}
+		if s[i].lru < victim.lru {
+			victim = &s[i]
+		}
+	}
+	out := Victim{}
+	if victim.state != Invalid {
+		out = Victim{Addr: victim.addr, Writeback: victim.state == Modified, Valid: true}
+		if victim.state == Modified {
+			c.stats.Writebacks++
+		}
+	}
+	c.tick++
+	*victim = refLine{addr: block, state: st, lru: c.tick}
+	return out
+}
+
+func (c *refCache) flush() []topology.Addr {
+	var dirty []topology.Addr
+	for si := range c.sets {
+		for wi := range c.sets[si] {
+			l := &c.sets[si][wi]
+			if l.state == Modified {
+				dirty = append(dirty, l.addr)
+				c.stats.Writebacks++
+			}
+			l.state = Invalid
+		}
+	}
+	return dirty
+}
+
+func (c *refCache) occupancy() int {
+	n := 0
+	for si := range c.sets {
+		for wi := range c.sets[si] {
+			if c.sets[si][wi].state != Invalid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func sortedAddrs(a []topology.Addr) []topology.Addr {
+	out := append([]topology.Addr(nil), a...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func TestDifferentialPackedVsTickLRU(t *testing.T) {
+	configs := []Config{
+		{SizeBytes: 2 * 128, Ways: 2},  // one set
+		{SizeBytes: 8 * 128, Ways: 2},  // tiny, heavy eviction
+		{SizeBytes: 16 * 128, Ways: 4}, // wider sets
+		{SizeBytes: 64 * 128, Ways: 1}, // direct-mapped
+	}
+	states := []LineState{Shared, Exclusive, Modified}
+	for ci, cfg := range configs {
+		for seed := int64(0); seed < 4; seed++ {
+			rng := rand.New(rand.NewSource(int64(ci)*101 + seed))
+			got := New(cfg)
+			want := newRef(cfg)
+			for op := 0; op < 6000; op++ {
+				a := topology.SharedAddr(topology.NodeID(rng.Intn(4)), uint64(rng.Intn(40))*topology.BlockSize)
+				switch rng.Intn(10) {
+				case 0, 1, 2: // load
+					gs, gh := got.Access(a, false)
+					ws, wh := want.access(a, false)
+					if gs != ws || gh != wh {
+						t.Fatalf("cfg %d seed %d op %d: load %v -> (%v,%v) want (%v,%v)", ci, seed, op, a, gs, gh, ws, wh)
+					}
+				case 3, 4: // store
+					gs, gh := got.Access(a, true)
+					ws, wh := want.access(a, true)
+					if gs != ws || gh != wh {
+						t.Fatalf("cfg %d seed %d op %d: store %v -> (%v,%v) want (%v,%v)", ci, seed, op, a, gs, gh, ws, wh)
+					}
+				case 5, 6, 7: // insert
+					st := states[rng.Intn(len(states))]
+					gv := got.Insert(a, st)
+					wv := want.insert(a, st)
+					if gv != wv {
+						t.Fatalf("cfg %d seed %d op %d: insert %v,%v victim %+v want %+v", ci, seed, op, a, st, gv, wv)
+					}
+				case 8: // state change / invalidate
+					st := []LineState{Invalid, Shared, Exclusive, Modified}[rng.Intn(4)]
+					got.SetState(a, st)
+					want.setState(a, st)
+				case 9: // probe
+					if gs, ws := got.State(a), want.state(a); gs != ws {
+						t.Fatalf("cfg %d seed %d op %d: state %v = %v want %v", ci, seed, op, a, gs, ws)
+					}
+				}
+				if op%997 == 0 {
+					gd, wd := sortedAddrs(got.Flush()), sortedAddrs(want.flush())
+					if len(gd) != len(wd) {
+						t.Fatalf("cfg %d seed %d op %d: flush %d dirty want %d", ci, seed, op, len(gd), len(wd))
+					}
+					for i := range gd {
+						if gd[i] != wd[i] {
+							t.Fatalf("cfg %d seed %d op %d: flush dirty[%d]=%v want %v", ci, seed, op, i, gd[i], wd[i])
+						}
+					}
+				}
+				if got.Stats() != want.stats {
+					t.Fatalf("cfg %d seed %d op %d: stats %+v want %+v", ci, seed, op, got.Stats(), want.stats)
+				}
+				if go_, wo := got.Occupancy(), want.occupancy(); go_ != wo {
+					t.Fatalf("cfg %d seed %d op %d: occupancy %d want %d", ci, seed, op, go_, wo)
+				}
+			}
+		}
+	}
+}

@@ -32,7 +32,6 @@ package core
 
 import (
 	"fmt"
-	"maps"
 
 	"cenju4/internal/cache"
 	"cenju4/internal/directory"
@@ -108,6 +107,12 @@ type Config struct {
 	// to it); machine.Machine wires one pool through both. Nil keeps
 	// plain allocation.
 	Pool *msg.Pool
+	// DenseDirectory selects the retained dense reference directory
+	// layout (memory.NewDense) instead of the sparse paged store. The
+	// two are observationally identical — the machine-scope digest
+	// differential proves it — so this exists only for that proof and
+	// for memory-cost comparisons.
+	DenseDirectory bool
 }
 
 func (c Config) withDefaults() Config {
@@ -128,8 +133,11 @@ func (c Config) withDefaults() Config {
 
 // Stats aggregates one controller's protocol activity.
 type Stats struct {
-	// Master side.
-	Requests   map[msg.Kind]uint64
+	// Master side. Requests is indexed by msg.Kind — a flat count array
+	// instead of a map, so the steady-state request path neither hashes
+	// nor allocates and the snapshot copy in Stats() is a plain struct
+	// copy.
+	Requests   [msg.NumKinds]uint64
 	Replies    uint64
 	Nacks      uint64
 	Retries    uint64
@@ -176,27 +184,49 @@ type Controller struct {
 	trace Tracer
 	vals  *ValueTracker
 	stats Stats
+
+	// sendFree recycles sendEvent records (the argument objects of the
+	// static send callback), so routing a message schedules no closure
+	// and allocates nothing in steady state.
+	sendFree *sendEvent
+
+	// memberBuf is the home's scratch for decoding directory node maps
+	// (dirty-owner lookup, invalidation fan-out). Decodes are consumed
+	// before the next one begins, so one machine-sized buffer serves
+	// every transaction without allocating.
+	memberBuf []topology.NodeID
 }
 
 // New builds a controller for cfg.Node.
 func New(eng *sim.Engine, fab Fabric, cfg Config) *Controller {
+	c := &Controller{}
+	c.Init(eng, fab, cfg)
+	return c
+}
+
+// Init initializes a zero Controller in place. machine.Machine carves
+// its controllers out of one contiguous slab and Inits each — a
+// 1024-node build is one allocation instead of 1024, and the per-node
+// hot state (module clocks, stat counters) lands in adjacent memory.
+func (c *Controller) Init(eng *sim.Engine, fab Fabric, cfg Config) {
 	cfg = cfg.withDefaults()
-	c := &Controller{
-		cfg:   cfg,
-		eng:   eng,
-		fab:   fab,
-		cache: cache.New(cfg.Cache),
-		mem:   memory.New(cfg.Node),
+	c.cfg = cfg
+	c.eng = eng
+	c.fab = fab
+	c.cache = cache.New(cfg.Cache)
+	if cfg.DenseDirectory {
+		c.mem = memory.NewDense(cfg.Node)
+	} else {
+		c.mem = memory.New(cfg.Node)
 	}
-	c.stats.Requests = make(map[msg.Kind]uint64)
 	if cfg.UpdateMode != nil {
 		c.l3 = make(map[topology.Addr]bool)
 		c.allNodes = directory.AllNodes(cfg.Nodes)
 	}
+	c.memberBuf = make([]topology.NodeID, 0, cfg.Nodes)
 	c.master.init(c)
 	c.home.init(c)
 	c.slave.init(c)
-	return c
 }
 
 // updateBlock reports whether addr is handled by the update protocol.
@@ -240,8 +270,6 @@ func (c *Controller) Stats() Stats {
 	s.QueueHighWater = c.home.queue.HighWater()
 	s.SlaveOverflowHW = c.slave.overflow.HighWater()
 	s.HomeOverflowHW = c.home.overflow.HighWater()
-	// Copy the map so callers cannot race with updates.
-	s.Requests = maps.Clone(c.stats.Requests)
 	return s
 }
 
@@ -302,6 +330,37 @@ func (c *Controller) newMsg(proto msg.Message) *msg.Message {
 	return c.cfg.Pool.New(proto)
 }
 
+// sendEvent is the pooled argument record of runSend: the per-send
+// state that the previous closure-based path captured on the heap for
+// every scheduled departure.
+type sendEvent struct {
+	c     *Controller
+	m     *msg.Message
+	local bool
+	next  *sendEvent // controller free list
+}
+
+// runSend is the static departure callback. The record is recycled
+// before the message moves so a nested send scheduled by the delivery
+// can reuse it immediately.
+//
+//cenju4:hotpath
+func runSend(a any) {
+	se := a.(*sendEvent)
+	c, m, local := se.c, se.m, se.local
+	se.m = nil
+	se.next = c.sendFree
+	c.sendFree = se
+	if local {
+		c.emit(TraceLocal, m)
+		c.Deliver(m)
+		c.cfg.Pool.Put(m)
+	} else {
+		c.emit(TraceSend, m)
+		c.fab.Send(m)
+	}
+}
+
 // send routes a message: destinations on this node are delivered
 // directly (module-to-module transfers inside the controller chip do
 // not use the network); everything else goes through the fabric.
@@ -309,19 +368,20 @@ func (c *Controller) newMsg(proto msg.Message) *msg.Message {
 // stays uniform. On the local path the controller is the end of the
 // message's life and releases it; on the fabric path the network owns
 // the message from Send on.
+//
+//cenju4:hotpath
 func (c *Controller) send(m *msg.Message, delay sim.Time) {
-	local := !m.Dest.IsPattern && len(m.Dest.Pointers) == 1 &&
-		m.Dest.Pointers[0] == c.cfg.Node && m.Gather == nil
-	c.eng.After(delay, func() {
-		if local {
-			c.emit(TraceLocal, m)
-			c.Deliver(m)
-			c.cfg.Pool.Put(m)
-		} else {
-			c.emit(TraceSend, m)
-			c.fab.Send(m)
-		}
-	})
+	se := c.sendFree
+	if se == nil {
+		//cenju4:alloc-ok pool seeding: records recycle at departure, so the pool settles at the in-flight peak
+		se = &sendEvent{}
+	} else {
+		c.sendFree = se.next
+	}
+	se.c = c
+	se.m = m
+	se.local = m.Dest.SingleTo(c.cfg.Node) && m.Gather == nil
+	c.eng.AtCall(c.eng.Now()+delay, runSend, se)
 }
 
 // isLocal reports whether a message came from this node's own modules
@@ -341,12 +401,21 @@ func (c *Controller) Request(addr topology.Addr, store bool, done func()) {
 }
 
 // Outstanding returns the number of in-flight master transactions.
-func (c *Controller) Outstanding() int { return len(c.master.slots) }
+func (c *Controller) Outstanding() int { return c.master.outstanding }
 
 // Latencies returns the per-request-kind transaction latency
-// histograms. The returned histograms are live; callers must treat them
-// as read-only.
-func (c *Controller) Latencies() map[msg.Kind]*stats.Histogram { return c.master.lat }
+// histograms, built on demand from the master's kind-indexed table.
+// The returned histograms are live; callers must treat them as
+// read-only.
+func (c *Controller) Latencies() map[msg.Kind]*stats.Histogram {
+	out := make(map[msg.Kind]*stats.Histogram)
+	for k, h := range c.master.lat {
+		if h != nil {
+			out[msg.Kind(k)] = h
+		}
+	}
+	return out
+}
 
 // QueueLen returns the current depth of the home's memory-resident
 // request queue (for validators and tests).

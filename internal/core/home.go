@@ -22,11 +22,13 @@ type queuedReq struct {
 }
 
 // txn is the home's context for a pending block: who the transaction is
-// for and what completes it.
+// for and what completes it. Records are pooled on the home's free
+// list (next), so steady-state transaction churn allocates nothing.
 type txn struct {
 	kind     msg.Kind // original request kind
 	master   topology.NodeID
-	acksLeft int // outstanding singlecast invalidation acks
+	acksLeft int  // outstanding singlecast invalidation acks
+	next     *txn // home free list
 }
 
 // homeModule owns the directory for locally-homed blocks.
@@ -39,6 +41,31 @@ type homeModule struct {
 	// entry (invalidation request + node map) per in-flight invalidation
 	// transaction (64 KB at 1024 nodes).
 	overflow *memory.Queue[topology.Addr]
+	txnFree  *txn // recycled pending-transaction records
+}
+
+// newTxn takes a transaction record from the free list (or seeds it).
+//
+//cenju4:hotpath
+func (h *homeModule) newTxn(kind msg.Kind, master topology.NodeID) *txn {
+	t := h.txnFree
+	if t == nil {
+		//cenju4:alloc-ok pool seeding: records recycle on completion, so the pool settles at the pending-block peak
+		t = &txn{}
+	} else {
+		h.txnFree = t.next
+	}
+	t.kind = kind
+	t.master = master
+	t.acksLeft = 0
+	t.next = nil
+	return t
+}
+
+// freeTxn returns a completed transaction record to the pool.
+func (h *homeModule) freeTxn(t *txn) {
+	t.next = h.txnFree
+	h.txnFree = t
 }
 
 func (h *homeModule) init(c *Controller) {
@@ -124,7 +151,7 @@ func (h *homeModule) processStable(kind msg.Kind, master topology.NodeID, addr t
 		// new data to every node's third-level cache and gather the
 		// acknowledgements.
 		e.SetState(directory.PendingUpdate)
-		t := &txn{kind: kind, master: master}
+		t := h.newTxn(kind, master)
 		h.pending[addr] = t
 		h.overflow.Push(addr)
 		if c.vals != nil {
@@ -148,7 +175,7 @@ func (h *homeModule) processStable(kind msg.Kind, master topology.NodeID, addr t
 			t.acksLeft = 1
 			c.send(pm, sofar+p.MemAccess)
 		} else {
-			targets := c.allNodes.Members(nil, c.cfg.Nodes)
+			targets := c.allNodes.Members(c.memberBuf[:0], c.cfg.Nodes)
 			t.acksLeft = len(targets)
 			for _, n := range targets {
 				cp := c.newMsg(um)
@@ -180,7 +207,7 @@ func (h *homeModule) processStable(kind msg.Kind, master topology.NodeID, addr t
 		default: // Dirty at another node: forward to the slave.
 			slave := h.dirtyOwner(e)
 			e.SetState(directory.PendingShared)
-			h.pending[addr] = &txn{kind: kind, master: master}
+			h.pending[addr] = h.newTxn(kind, master)
 			h.forward(slave, msg.FwdReadShared, addr, master, sofar)
 			return 0
 		}
@@ -204,7 +231,7 @@ func (h *homeModule) processStable(kind msg.Kind, master topology.NodeID, addr t
 			} else {
 				e.SetState(directory.PendingExclusive)
 			}
-			t := &txn{kind: kind, master: master}
+			t := h.newTxn(kind, master)
 			h.pending[addr] = t
 			h.invalidate(e.Dest(), addr, master, t, sofar)
 			return 0
@@ -213,7 +240,7 @@ func (h *homeModule) processStable(kind msg.Kind, master topology.NodeID, addr t
 			e.SetState(directory.PendingExclusive)
 			// An ownership request that races with a steal of the line is
 			// served as a read-exclusive: the master's copy is stale.
-			h.pending[addr] = &txn{kind: msg.ReadExclusive, master: master}
+			h.pending[addr] = h.newTxn(msg.ReadExclusive, master)
 			h.forward(slave, msg.FwdReadExclusive, addr, master, sofar)
 			return 0
 		}
@@ -224,7 +251,7 @@ func (h *homeModule) processStable(kind msg.Kind, master topology.NodeID, addr t
 
 // dirtyOwner returns the single node registered for a dirty block.
 func (h *homeModule) dirtyOwner(e *directory.Entry) topology.NodeID {
-	members := e.MapMembers(nil, h.c.cfg.Nodes)
+	members := e.MapMembers(h.c.memberBuf[:0], h.c.cfg.Nodes)
 	if len(members) != 1 {
 		panic(fmt.Sprintf("core: dirty block with %d registered nodes", len(members)))
 	}
@@ -251,7 +278,7 @@ func (h *homeModule) forward(slave topology.NodeID, kind msg.Kind, addr topology
 // sends singlecasts and counts individual acks.
 func (h *homeModule) invalidate(spec directory.Dest, addr topology.Addr, master topology.NodeID, t *txn, delay sim.Time) {
 	c := h.c
-	targets := spec.Members(nil, c.cfg.Nodes)
+	targets := spec.Members(c.memberBuf[:0], c.cfg.Nodes)
 	if len(targets) == 0 {
 		panic("core: invalidate with no targets")
 	}
@@ -343,6 +370,7 @@ func (h *homeModule) processSlaveReply(m *msg.Message, sofar sim.Time) sim.Time 
 		panic(fmt.Sprintf("core: slave reply in state %v", e.State()))
 	}
 	delete(h.pending, m.Addr)
+	h.freeTxn(t)
 	cost += h.completeBlock(e, sofar+cost)
 	return cost
 }
@@ -388,6 +416,7 @@ func (h *homeModule) processInvAck(m *msg.Message, sofar sim.Time) sim.Time {
 		panic(fmt.Sprintf("core: invalidation transaction completed for %v", t.kind))
 	}
 	delete(h.pending, m.Addr)
+	h.freeTxn(t)
 	cost += h.completeBlock(e, sofar+cost)
 	return cost
 }

@@ -12,9 +12,17 @@ import (
 )
 
 // mshr is one outstanding master transaction (the R10000 allows four).
+// The master holds them in a fixed in-struct array — matching the four
+// hardware miss registers — instead of a map of heap records: slot
+// lookup is a four-entry linear scan and issuing/completing a
+// transaction allocates nothing. owner points back to the module so a
+// slot pointer is a self-sufficient argument for the static retry and
+// complete callbacks.
 type mshr struct {
+	owner     *masterModule
 	addr      topology.Addr
 	store     bool
+	active    bool
 	kind      msg.Kind
 	issuedAt  sim.Time
 	done      func()
@@ -32,9 +40,11 @@ type deferredReq struct {
 
 // masterModule issues requests and consumes replies.
 type masterModule struct {
-	c        *Controller
-	slots    map[topology.Addr]*mshr
-	deferred []deferredReq // waiting for a free MSHR slot
+	c           *Controller
+	slots       [topology.MaxOutstanding]mshr
+	outstanding int
+	deferred    []deferredReq // waiting for a free MSHR slot
+	defHead     int           // consumed prefix of deferred (head index, no reslice)
 
 	// Write-combining buffer for the update-protocol extension: one
 	// block slot. The first store to a block broadcasts the update;
@@ -45,32 +55,69 @@ type masterModule struct {
 	combining      topology.Addr
 	combiningValid bool
 
-	// lat tracks per-request-kind transaction latency distributions.
-	lat map[msg.Kind]*stats.Histogram
+	// lat tracks per-request-kind transaction latency distributions,
+	// indexed by msg.Kind (allocated lazily per kind actually seen).
+	lat [msg.NumKinds]*stats.Histogram
 }
 
 func (m *masterModule) init(c *Controller) {
 	m.c = c
-	m.slots = make(map[topology.Addr]*mshr)
-	m.lat = make(map[msg.Kind]*stats.Histogram)
+	for i := range m.slots {
+		m.slots[i].owner = m
+	}
 }
 
 func (m *masterModule) recordLatency(kind msg.Kind, lat sim.Time) {
 	h := m.lat[kind]
 	if h == nil {
+		//cenju4:alloc-ok once per kind actually observed, not per transaction
 		h = &stats.Histogram{}
 		m.lat[kind] = h
 	}
 	h.Add(lat)
 }
 
+// lookup returns the active slot for addr, or nil.
+//
+//cenju4:hotpath
+func (m *masterModule) lookup(addr topology.Addr) *mshr {
+	for i := range m.slots {
+		if m.slots[i].active && m.slots[i].addr == addr {
+			return &m.slots[i]
+		}
+	}
+	return nil
+}
+
+// alloc claims a free slot for a new transaction. The caller guarantees
+// one exists (outstanding < MaxOutstanding).
+func (m *masterModule) alloc(addr topology.Addr, store bool, kind msg.Kind, done func()) *mshr {
+	for i := range m.slots {
+		if !m.slots[i].active {
+			s := &m.slots[i]
+			s.addr = addr
+			s.store = store
+			s.active = true
+			s.kind = kind
+			s.issuedAt = m.c.eng.Now()
+			s.done = done
+			s.retries = 0
+			s.installL3 = false
+			s.tag = 0
+			m.outstanding++
+			return s
+		}
+	}
+	panic("core: mshr alloc with all slots active")
+}
+
 // request starts (or merges, or defers) a transaction for block addr.
 func (m *masterModule) request(addr topology.Addr, store bool, done func()) {
-	if slot, ok := m.slots[addr]; ok {
+	if slot := m.lookup(addr); slot != nil {
 		slot.waiters = append(slot.waiters, deferredReq{addr, store, done})
 		return
 	}
-	if len(m.slots) >= topology.MaxOutstanding {
+	if m.outstanding >= topology.MaxOutstanding {
 		m.deferred = append(m.deferred, deferredReq{addr, store, done})
 		return
 	}
@@ -120,8 +167,7 @@ func (m *masterModule) issue(addr topology.Addr, store bool, done func()) {
 	case store:
 		kind = msg.ReadExclusive
 	}
-	slot := &mshr{addr: addr, store: store, kind: kind, issuedAt: c.eng.Now(), done: done}
-	m.slots[addr] = slot
+	slot := m.alloc(addr, store, kind, done)
 	c.stats.Requests[kind]++
 	m.sendRequest(slot, kind)
 }
@@ -144,6 +190,7 @@ func (m *masterModule) issueUpdate(addr topology.Addr, store bool, done func()) 
 		if c.l3[addr] {
 			// Third-level cache hit: one local memory access.
 			c.stats.L3Hits++
+			//cenju4:alloc-ok update-protocol extension path, outside the base-protocol steady state the alloc gate pins
 			c.eng.After(p.ProcOverhead+p.MemAccess+p.DirAccess, func() {
 				if v := c.cache.Insert(addr, cache.Shared); v.Writeback && v.Addr.Shared() {
 					m.writeback(v.Addr)
@@ -156,8 +203,8 @@ func (m *masterModule) issueUpdate(addr topology.Addr, store bool, done func()) 
 			})
 			return
 		}
-		slot := &mshr{addr: addr, kind: msg.ReadShared, issuedAt: c.eng.Now(), done: done, installL3: true}
-		m.slots[addr] = slot
+		slot := m.alloc(addr, false, msg.ReadShared, done)
+		slot.installL3 = true
 		c.stats.Requests[msg.ReadShared]++
 		m.sendRequest(slot, msg.ReadShared)
 		return
@@ -170,16 +217,16 @@ func (m *masterModule) issueUpdate(addr topology.Addr, store bool, done func()) 
 	}
 	m.combining = addr
 	m.combiningValid = true
-	slot := &mshr{addr: addr, store: true, kind: msg.UpdateWrite, issuedAt: c.eng.Now(), done: done}
+	slot := m.alloc(addr, true, msg.UpdateWrite, done)
 	if c.vals != nil {
 		slot.tag = c.vals.newTag()
 	}
-	m.slots[addr] = slot
 	c.stats.Requests[msg.UpdateWrite]++
 	c.stats.UpdateWrites++
 	m.sendRequest(slot, msg.UpdateWrite)
 }
 
+//cenju4:hotpath
 func (m *masterModule) sendRequest(slot *mshr, kind msg.Kind) {
 	c := m.c
 	c.send(c.newMsg(msg.Message{
@@ -215,11 +262,27 @@ func (m *masterModule) writeback(addr topology.Addr) {
 	}), 0)
 }
 
+// masterRetry is the static nack-backoff callback: its argument slot
+// stays live (active) until the transaction completes, so no closure
+// over (module, slot) is needed per retry.
+func masterRetry(a any) {
+	s := a.(*mshr)
+	s.owner.retry(s)
+}
+
+// masterComplete is the static completion callback (see masterRetry).
+func masterComplete(a any) {
+	s := a.(*mshr)
+	s.owner.complete(s)
+}
+
 // handle consumes a reply from a home.
+//
+//cenju4:hotpath
 func (m *masterModule) handle(rm *msg.Message) {
 	c := m.c
-	slot, ok := m.slots[rm.Addr]
-	if !ok {
+	slot := m.lookup(rm.Addr)
+	if slot == nil {
 		panic(fmt.Sprintf("core: %v reply %v with no outstanding transaction", c.cfg.Node, rm))
 	}
 	var cost sim.Time
@@ -293,13 +356,13 @@ func (m *masterModule) handle(rm *msg.Message) {
 			c.stats.MaxRetries = slot.retries
 		}
 		c.stats.Retries++
-		c.eng.After(cost+c.cfg.NackDelay, func() { m.retry(slot) })
+		c.eng.AtCall(c.eng.Now()+cost+c.cfg.NackDelay, masterRetry, slot)
 		return
 	default:
 		panic(fmt.Sprintf("core: master received %v", rm))
 	}
 	c.stats.Replies++
-	c.eng.After(cost, func() { m.complete(slot) })
+	c.eng.AtCall(c.eng.Now()+cost, masterComplete, slot)
 }
 
 // retry re-sends a nacked request, downgrading ownership to
@@ -315,6 +378,8 @@ func (m *masterModule) retry(slot *mshr) {
 
 // complete graduates the access, releases the slot, and re-drives any
 // same-block waiters and deferred requests.
+//
+//cenju4:hotpath
 func (m *masterModule) complete(slot *mshr) {
 	c := m.c
 	lat := c.eng.Now() - slot.issuedAt
@@ -324,16 +389,24 @@ func (m *masterModule) complete(slot *mshr) {
 		c.stats.LatencyMax = lat
 	}
 	m.recordLatency(slot.kind, lat)
-	delete(m.slots, slot.addr)
-	slot.done()
+	done := slot.done
 	waiters := slot.waiters
-	slot.waiters = nil
+	slot.waiters = nil // re-drives below may reclaim and refill the slot
+	slot.done = nil
+	slot.active = false
+	m.outstanding--
+	done()
 	for _, w := range waiters {
 		m.request(w.addr, w.store, w.done)
 	}
-	for len(m.deferred) > 0 && len(m.slots) < topology.MaxOutstanding {
-		d := m.deferred[0]
-		m.deferred = m.deferred[1:]
+	for m.defHead < len(m.deferred) && m.outstanding < topology.MaxOutstanding {
+		d := m.deferred[m.defHead]
+		m.deferred[m.defHead] = deferredReq{}
+		m.defHead++
 		m.request(d.addr, d.store, d.done)
+	}
+	if m.defHead == len(m.deferred) && m.defHead > 0 {
+		m.deferred = m.deferred[:0]
+		m.defHead = 0
 	}
 }

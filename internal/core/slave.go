@@ -127,11 +127,24 @@ func (s *slaveModule) handle(m *msg.Message) {
 	c.stats.SlaveRequests++
 
 	s.busy = now + elapsed
-	c.eng.At(s.busy, func() {
-		s.backlog--
-		if spilled {
-			s.overflow.Pop()
-		}
-	})
+	// Static completion callbacks (no per-service closure). Completions
+	// fire in admission order — s.busy is strictly increasing across
+	// services — so the spilled completions pop the FIFO overflow queue
+	// in exactly the order their admissions pushed it.
+	if spilled {
+		c.eng.AtCall(s.busy, slaveDoneSpilled, s)
+	} else {
+		c.eng.AtCall(s.busy, slaveDone, s)
+	}
 	c.send(reply, elapsed)
+}
+
+func slaveDone(a any) {
+	a.(*slaveModule).backlog--
+}
+
+func slaveDoneSpilled(a any) {
+	s := a.(*slaveModule)
+	s.backlog--
+	s.overflow.Pop()
 }

@@ -58,6 +58,7 @@ func get(m map[topology.NodeID]map[topology.Addr]uint64, n topology.NodeID, a to
 func set(m map[topology.NodeID]map[topology.Addr]uint64, n topology.NodeID, a topology.Addr, v uint64) {
 	inner := m[n]
 	if inner == nil {
+		//cenju4:alloc-ok one map per node, lazily; the value tracker attaches only in the fuzzing oracle
 		inner = make(map[topology.Addr]uint64)
 		m[n] = inner
 	}

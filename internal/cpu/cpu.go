@@ -134,6 +134,15 @@ type CPU struct {
 	prog  Program
 	stats Stats
 	done  func()
+
+	// Blocking-op scratch for the static event callbacks below: at most
+	// one blocking miss / finish / quantum event is outstanding per CPU
+	// (step returns after scheduling one), so a single set of fields
+	// replaces the per-event closures the hot path used to allocate.
+	pendAddr  topology.Addr
+	pendStore bool
+	pendAcc   sim.Time
+	resumeFn  func() // allocated once: the controller's done callback
 }
 
 // Config parameterizes a CPU.
@@ -160,15 +169,31 @@ func New(eng *sim.Engine, ctrl *core.Controller, sync Sync, cfg Config) *CPU {
 	if cfg.Params == (timing.Params{}) {
 		cfg.Params = timing.Default()
 	}
-	return &CPU{
-		node:    cfg.Node,
-		eng:     eng,
-		ctrl:    ctrl,
-		sync:    sync,
-		params:  cfg.Params,
-		nsPerIn: cfg.NsPerInstr,
-		quantum: cfg.Quantum,
+	c := &CPU{}
+	c.Init(eng, ctrl, sync, cfg)
+	return c
+}
+
+// Init initializes a zero CPU in place (machine.Machine slab-allocates
+// its processors; see core.Controller.Init).
+func (c *CPU) Init(eng *sim.Engine, ctrl *core.Controller, sync Sync, cfg Config) {
+	if cfg.NsPerInstr == 0 {
+		cfg.NsPerInstr = 5
 	}
+	if cfg.Quantum == 0 {
+		cfg.Quantum = 20000
+	}
+	if cfg.Params == (timing.Params{}) {
+		cfg.Params = timing.Default()
+	}
+	c.node = cfg.Node
+	c.eng = eng
+	c.ctrl = ctrl
+	c.sync = sync
+	c.params = cfg.Params
+	c.nsPerIn = cfg.NsPerInstr
+	c.quantum = cfg.Quantum
+	c.resumeFn = func() { c.step() }
 }
 
 // Stats returns the execution counters.
@@ -178,7 +203,7 @@ func (c *CPU) Stats() Stats { return c.stats }
 func (c *CPU) Run(prog Program, done func()) {
 	c.prog = prog
 	c.done = done
-	c.eng.After(0, c.step)
+	c.eng.After(0, c.resumeFn)
 }
 
 // step consumes operations until the processor must block or its
@@ -188,12 +213,8 @@ func (c *CPU) step() {
 	for {
 		op, ok := c.prog.Next()
 		if !ok {
-			c.eng.After(acc, func() {
-				c.stats.BusyTime += acc
-				c.stats.Finished = true
-				c.stats.EndTime = c.eng.Now()
-				c.done()
-			})
+			c.pendAcc = acc
+			c.eng.AtCall(c.eng.Now()+acc, cpuFinish, c)
 			return
 		}
 		switch op.Kind {
@@ -235,9 +256,8 @@ func (c *CPU) step() {
 			}
 			// Block on the coherence transaction.
 			c.stats.BusyTime += acc
-			c.eng.After(acc, func() {
-				c.ctrl.Request(op.Addr, store, func() { c.afterBlocking(0) })
-			})
+			c.pendAddr, c.pendStore = op.Addr, store
+			c.eng.AtCall(c.eng.Now()+acc, cpuMiss, c)
 			return
 
 		case OpBarrier:
@@ -262,7 +282,7 @@ func (c *CPU) step() {
 		}
 		if acc >= c.quantum {
 			c.stats.BusyTime += acc
-			c.eng.After(acc, func() { c.afterBlocking(0) })
+			c.eng.AtCall(c.eng.Now()+acc, cpuResume, c)
 			return
 		}
 	}
@@ -281,8 +301,26 @@ func (c *CPU) blockOnSync(acc sim.Time, enter func(done func())) {
 	})
 }
 
-// afterBlocking resumes execution after a blocking miss or quantum.
-func (c *CPU) afterBlocking(_ int) { c.step() }
+// cpuMiss is the static blocked-miss callback: the access that blocked
+// is in the CPU's pend fields and resumeFn re-enters step when the
+// coherence transaction graduates.
+func cpuMiss(a any) {
+	c := a.(*CPU)
+	c.ctrl.Request(c.pendAddr, c.pendStore, c.resumeFn)
+}
+
+// cpuResume is the static quantum-expiry callback.
+func cpuResume(a any) { a.(*CPU).step() }
+
+// cpuFinish is the static program-completion callback; pendAcc carries
+// the final op batch's accumulated busy time.
+func cpuFinish(a any) {
+	c := a.(*CPU)
+	c.stats.BusyTime += c.pendAcc
+	c.stats.Finished = true
+	c.stats.EndTime = c.eng.Now()
+	c.done()
+}
 
 // privateAccess simulates the private-memory hierarchy: private blocks
 // live in the same secondary cache; evicted shared victims raise

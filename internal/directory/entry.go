@@ -118,15 +118,16 @@ func (e *Entry) MapSetOnly(n topology.NodeID) {
 	e.MapAdd(n)
 }
 
-// pointers returns the pointer-format sharer list. Only valid when
-// !UsesBitPattern().
-func (e Entry) pointers() []topology.NodeID {
+// pointers returns the pointer-format sharer list in scratch storage.
+// Only valid when !UsesBitPattern(). The return is a value (inline
+// array), so decoding never touches the heap.
+func (e Entry) pointers() ([MaxPointers]topology.NodeID, int) {
+	var out [MaxPointers]topology.NodeID
 	cnt := int(e >> ptrCountShift & ptrCountMask)
-	out := make([]topology.NodeID, 0, cnt)
 	for i := 0; i < cnt; i++ {
-		out = append(out, topology.NodeID(e>>(i*ptrWidth)&ptrMask))
+		out[i] = topology.NodeID(e >> (i * ptrWidth) & ptrMask)
 	}
-	return out
+	return out, cnt
 }
 
 // MapAdd records node n as a sharer. In pointer format a fifth distinct
@@ -156,7 +157,8 @@ func (e *Entry) MapAdd(n topology.NodeID) {
 	}
 	// Dynamic switch: pointer structure is full.
 	var bp BitPattern
-	for _, p := range e.pointers() {
+	ptrs, cnt := e.pointers()
+	for _, p := range ptrs[:cnt] {
 		bp.Add(p)
 	}
 	bp.Add(n)
@@ -232,13 +234,17 @@ func (e Entry) MapHasOthers(n topology.NodeID) bool {
 }
 
 // MapMembers appends the represented node set to dst, restricted to
-// nodes below limit (the machine size).
+// nodes below limit (the machine size). With a dst of sufficient
+// capacity the decode is allocation-free.
+//
+//cenju4:hotpath
 func (e Entry) MapMembers(dst []topology.NodeID, limit int) []topology.NodeID {
 	if e.UsesBitPattern() {
 		return e.bitPattern().Members(dst, limit)
 	}
-	for _, p := range e.pointers() {
-		if int(p) < limit {
+	cnt := int(e >> ptrCountShift & ptrCountMask)
+	for i := 0; i < cnt; i++ {
+		if p := topology.NodeID(e >> (i * ptrWidth) & ptrMask); int(p) < limit {
 			dst = append(dst, p)
 		}
 	}
@@ -249,12 +255,14 @@ func (e Entry) MapMembers(dst []topology.NodeID, limit int) []topology.NodeID {
 // node map: the same pointer or bit-pattern structure is carried in the
 // invalidation message so the network delivers copies only to
 // represented nodes.
+//
+//cenju4:hotpath
 func (e Entry) Dest() Dest {
 	if e.UsesBitPattern() {
 		return Dest{Pattern: e.bitPattern(), IsPattern: true}
 	}
 	d := Dest{}
-	d.Pointers = append(d.Pointers, e.pointers()...)
+	d.ptrs, d.nptr = e.pointers()
 	return d
 }
 
@@ -266,25 +274,52 @@ func (e Entry) String() string {
 	if e.UsesBitPattern() {
 		return fmt.Sprintf("dir[%s%v,%v]", r, e.State(), e.bitPattern())
 	}
-	return fmt.Sprintf("dir[%s%v,ptr%v]", r, e.State(), e.pointers())
+	ptrs, cnt := e.pointers()
+	return fmt.Sprintf("dir[%s%v,ptr%v]", r, e.State(), ptrs[:cnt])
 }
 
 // Dest is a multicast destination specification: either an explicit
 // pointer list (precise, <= 4 nodes) or a bit-pattern. It mirrors the
 // directory's two formats, as in the hardware, so invalidations reach
-// exactly the represented set.
+// exactly the represented set. The pointer list is stored inline — a
+// Dest is a small value, built and copied without heap traffic on the
+// per-message hot path.
 type Dest struct {
-	Pointers  []topology.NodeID
+	ptrs      [MaxPointers]topology.NodeID
+	nptr      int
 	Pattern   BitPattern
 	IsPattern bool
 }
 
+// PointerDest builds a pointer-format destination from an explicit node
+// list (at most MaxPointers entries).
+func PointerDest(nodes ...topology.NodeID) Dest {
+	if len(nodes) > MaxPointers {
+		panic(fmt.Sprintf("directory: %d nodes exceed the pointer structure", len(nodes)))
+	}
+	d := Dest{nptr: len(nodes)}
+	copy(d.ptrs[:], nodes)
+	return d
+}
+
+// Pointers returns the pointer-format node list (empty in bit-pattern
+// format). The slice aliases the receiver's inline storage.
+func (d *Dest) Pointers() []topology.NodeID { return d.ptrs[:d.nptr] }
+
+// SingleTo reports whether d addresses exactly node n in pointer
+// format — the singlecast test the message layer applies per send.
+func (d Dest) SingleTo(n topology.NodeID) bool {
+	return !d.IsPattern && d.nptr == 1 && d.ptrs[0] == n
+}
+
 // Members appends the destination node set (below limit) to dst.
+//
+//cenju4:hotpath
 func (d Dest) Members(dst []topology.NodeID, limit int) []topology.NodeID {
 	if d.IsPattern {
 		return d.Pattern.Members(dst, limit)
 	}
-	for _, p := range d.Pointers {
+	for _, p := range d.ptrs[:d.nptr] {
 		if int(p) < limit {
 			dst = append(dst, p)
 		}
@@ -298,7 +333,7 @@ func (d Dest) Count() int {
 	if d.IsPattern {
 		return d.Pattern.Count()
 	}
-	return len(d.Pointers)
+	return d.nptr
 }
 
 // Contains reports whether node n is a destination.
@@ -306,7 +341,7 @@ func (d Dest) Contains(n topology.NodeID) bool {
 	if d.IsPattern {
 		return d.Pattern.Contains(n)
 	}
-	for _, p := range d.Pointers {
+	for _, p := range d.ptrs[:d.nptr] {
 		if p == n {
 			return true
 		}
@@ -314,25 +349,11 @@ func (d Dest) Contains(n topology.NodeID) bool {
 	return false
 }
 
-// singles holds one preconstructed single-element pointer list per
-// possible node, so Single — called once per multicast copy and per
-// singlecast-expansion copy in the network — builds its Dest without
-// allocating. The backing arrays are shared: Dest values are treated as
-// immutable everywhere (callers only read Pointers), which keeps the
-// aliasing safe.
-var singles [topology.MaxNodes][1]topology.NodeID
-
-func init() {
-	for i := range singles {
-		singles[i][0] = topology.NodeID(i)
-	}
-}
-
 // Single returns a destination spec for exactly one node.
 //
 //cenju4:hotpath
 func Single(n topology.NodeID) Dest {
-	return Dest{Pointers: singles[n][:]}
+	return Dest{ptrs: [MaxPointers]topology.NodeID{n}, nptr: 1}
 }
 
 // AllNodes returns a bit-pattern destination covering exactly nodes

@@ -177,8 +177,8 @@ func TestEntryDestMatchesFormat(t *testing.T) {
 	if d.IsPattern {
 		t.Fatal("pointer-format entry produced pattern dest")
 	}
-	if len(d.Pointers) != 2 {
-		t.Fatalf("dest pointers = %v", d.Pointers)
+	if len(d.Pointers()) != 2 {
+		t.Fatalf("dest pointers = %v", d.Pointers())
 	}
 	for i := 0; i < 5; i++ {
 		e.MapAdd(topology.NodeID(i * 50))

@@ -20,6 +20,13 @@ func (p BitPattern) AnyMatch(mask, value uint32) bool {
 	if value>>10 != 0 {
 		return false // constraint requires bits above the node-number width
 	}
+	if p == 1<<BitPatternBits-1 {
+		// Saturated pattern (every field fully one-hot — the 1024-sharer
+		// "invalidate everyone" case of the headline figure): the set is
+		// the whole node space, so any constraint that survived the
+		// checks above is satisfied by n = value itself.
+		return true
+	}
 	f1, f2, f3, f4 := p.fields()
 	return fieldAny(f4, 5, 0, mask, value) &&
 		fieldAny(f3, 1, 5, mask, value) &&
@@ -29,20 +36,25 @@ func (p BitPattern) AnyMatch(mask, value uint32) bool {
 
 // fieldAny reports whether the one-hot field (width bits starting at
 // node-number bit position pos) has a set bit consistent with the
-// mask/value constraint.
+// mask/value constraint. Rather than testing each of the field's 2^width
+// candidate values, it builds the bitmask of all values matching the
+// constraint — start from the constrained value and double the set over
+// each unconstrained (free) bit — and intersects it with the field:
+// O(width) for the width-5 worst case the switches query per port.
 func fieldAny(field uint64, width, pos int, mask, value uint32) bool {
-	fm := (uint32(1)<<width - 1) << pos
-	m := mask & fm
-	v := value & fm
-	for b := 0; b < 1<<width; b++ {
-		if field>>b&1 == 0 {
-			continue
-		}
-		if uint32(b)<<pos&m == v {
-			return true
+	m := mask >> pos & (1<<width - 1)
+	v := value >> pos & (1<<width - 1)
+	if v&^m != 0 {
+		return false // value sets a bit the mask leaves free: unsatisfiable
+	}
+	set := uint64(1) << v
+	free := ^m & (1<<width - 1)
+	for j := 0; j < width; j++ {
+		if free>>j&1 == 1 {
+			set |= set << (1 << j)
 		}
 	}
-	return false
+	return field&set != 0
 }
 
 // AnyMatch reports whether any destination node n satisfies
@@ -51,7 +63,7 @@ func (d Dest) AnyMatch(mask, value uint32) bool {
 	if d.IsPattern {
 		return d.Pattern.AnyMatch(mask, value)
 	}
-	for _, p := range d.Pointers {
+	for _, p := range d.ptrs[:d.nptr] {
 		if uint32(p)&mask == value {
 			return true
 		}

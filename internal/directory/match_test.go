@@ -37,7 +37,7 @@ func TestAnyMatchAgainstReference(t *testing.T) {
 }
 
 func TestAnyMatchPointerDest(t *testing.T) {
-	d := Dest{Pointers: []topology.NodeID{5, 160}}
+	d := PointerDest(5, 160)
 	if !d.AnyMatch(0x1f, 5) {
 		t.Error("low-bit match for node 5 failed")
 	}

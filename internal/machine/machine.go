@@ -51,6 +51,11 @@ type Config struct {
 	// controller (used by the fuzzing harness's self-tests; nil in
 	// production configurations).
 	Faults *core.Faults
+	// DenseDirectory forwards to core.Config: build every node's
+	// directory on the retained dense reference layout instead of the
+	// sparse paged store. Observable behavior is identical (the digest
+	// differential test proves it); only memory cost differs.
+	DenseDirectory bool
 }
 
 func (c Config) withDefaults() Config {
@@ -96,9 +101,15 @@ func New(cfg Config) *Machine {
 	m.world = mpi.New(m.eng, cfg.Nodes, cfg.MPI)
 	m.ctrls = make([]*core.Controller, cfg.Nodes)
 	m.cpus = make([]*cpu.CPU, cfg.Nodes)
+	// Contiguous slabs instead of per-node heap records: two allocations
+	// cover all 1024 nodes' controller and processor hot state, keeping
+	// per-node counters and module clocks dense in memory.
+	ctrlSlab := make([]core.Controller, cfg.Nodes)
+	cpuSlab := make([]cpu.CPU, cfg.Nodes)
 	for i := 0; i < cfg.Nodes; i++ {
 		node := topology.NodeID(i)
-		m.ctrls[i] = core.New(m.eng, m.net, core.Config{
+		m.ctrls[i] = &ctrlSlab[i]
+		m.ctrls[i].Init(m.eng, m.net, core.Config{
 			Node:                node,
 			Nodes:               cfg.Nodes,
 			Params:              cfg.Params,
@@ -108,12 +119,14 @@ func New(cfg Config) *Machine {
 			UpdateMode:          cfg.UpdateMode,
 			Faults:              cfg.Faults,
 			Pool:                pool,
+			DenseDirectory:      cfg.DenseDirectory,
 		})
 		m.net.Attach(node, m.ctrls[i].Deliver)
 		cpuCfg := cfg.CPU
 		cpuCfg.Node = node
 		cpuCfg.Params = cfg.Params
-		m.cpus[i] = cpu.New(m.eng, m.ctrls[i], m.world, cpuCfg)
+		m.cpus[i] = &cpuSlab[i]
+		m.cpus[i].Init(m.eng, m.ctrls[i], m.world, cpuCfg)
 	}
 	return m
 }

@@ -14,45 +14,122 @@
 //   - home output queue: 4 x N entries of 128 bits (64 KB) — outbound
 //     messages the home cannot inject; one invalidation plus its node
 //     map stands in for a whole multicast fan-out.
+//
+// Directory entries live in sparse 256-block pages allocated on first
+// touch: a block that no transaction ever references costs nothing,
+// which is what keeps a 1024-node machine's directories at kilobytes
+// instead of the per-block map the previous layout paid (one heap
+// allocation plus map overhead per touched block, ~48 bytes each). A
+// dense map-backed reference implementation is retained behind
+// NewDense; the differential test in sparse_test.go drives both with
+// randomized op sequences and requires identical observable state.
 package memory
 
 import (
 	"fmt"
+	"math/bits"
 	"slices"
 
 	"cenju4/internal/directory"
 	"cenju4/internal/topology"
 )
 
+const (
+	// dirPageBlocks is the number of directory entries per sparse page
+	// (256 x 8 B = 2 KB of entries plus a 32 B touched bitmap).
+	dirPageBlocks = 256
+	dirPageShift  = 8
+	dirPageMask   = dirPageBlocks - 1
+)
+
+// dirPage is one lazily allocated span of 256 consecutive directory
+// entries. The touched bitmap records which entries have been handed
+// out by Entry: only those count as allocated for Touched /
+// DirectoryBytes / ForEach, exactly as map keys did in the dense
+// layout. Pages are never moved or freed, so &page.entries[i] is
+// stable for the life of the Memory — callers may hold entry pointers
+// across events just as they could with per-block heap entries.
+type dirPage struct {
+	touched [dirPageBlocks / 64]uint64
+	entries [dirPageBlocks]directory.Entry
+}
+
 // Memory is one node's main memory (directory portion).
 type Memory struct {
 	node    topology.NodeID
-	entries map[uint64]*directory.Entry
+	pages   map[uint64]*dirPage
+	touched int
+	// One-entry page TLB: protocol bursts hammer a handful of blocks,
+	// so consecutive Entry calls almost always hit the same page.
+	lastKey  uint64
+	lastPage *dirPage
+
+	// dense, when non-nil, switches this Memory to the retained
+	// reference layout (one heap entry per touched block). Used by the
+	// sparse-vs-dense differential and golden tests.
+	dense map[uint64]*directory.Entry
 }
 
-// New returns the memory of the given node.
+// New returns the memory of the given node (sparse paged directory).
 func New(node topology.NodeID) *Memory {
-	return &Memory{node: node, entries: make(map[uint64]*directory.Entry)}
+	return &Memory{node: node, pages: make(map[uint64]*dirPage)}
+}
+
+// NewDense returns the memory of the given node backed by the dense
+// reference directory layout: one heap-allocated entry per touched
+// block in a flat map. Observable behavior is identical to New — the
+// differential suite proves it — it just spends more memory, so it
+// exists only as the oracle for the sparse layout.
+func NewDense(node topology.NodeID) *Memory {
+	return &Memory{node: node, dense: make(map[uint64]*directory.Entry)}
 }
 
 // Entry returns the directory entry for the block containing addr,
 // allocating a clean, empty entry on first touch (all memory starts
 // uncached and clean). The address must be homed at this node.
+//
+//cenju4:hotpath
 func (m *Memory) Entry(addr topology.Addr) *directory.Entry {
 	if !addr.Shared() || addr.Home() != m.node {
 		panic(fmt.Sprintf("memory: %v not homed at %v", addr, m.node))
 	}
 	idx := addr.BlockIndex()
-	e := m.entries[idx]
-	if e == nil {
-		e = new(directory.Entry)
-		m.entries[idx] = e
+	if m.dense != nil {
+		e := m.dense[idx]
+		if e == nil {
+			//cenju4:alloc-ok dense reference layout: one entry per touched block by design
+			e = new(directory.Entry)
+			m.dense[idx] = e
+		}
+		return e
 	}
-	return e
+	key := idx >> dirPageShift
+	p := m.lastPage
+	if p == nil || m.lastKey != key {
+		p = m.pages[key]
+		if p == nil {
+			//cenju4:alloc-ok one page allocation covers 256 blocks for the memory's lifetime
+			p = new(dirPage)
+			m.pages[key] = p
+		}
+		m.lastKey, m.lastPage = key, p
+	}
+	bit := idx & dirPageMask
+	w, b := bit>>6, bit&63
+	if p.touched[w]>>b&1 == 0 {
+		p.touched[w] |= 1 << b
+		m.touched++
+	}
+	return &p.entries[bit]
 }
 
 // Touched returns the number of blocks with allocated directory entries.
-func (m *Memory) Touched() int { return len(m.entries) }
+func (m *Memory) Touched() int {
+	if m.dense != nil {
+		return len(m.dense)
+	}
+	return m.touched
+}
 
 // ForEach visits every touched directory entry in ascending block
 // order. The order matters: validators report the FIRST violating block
@@ -60,28 +137,55 @@ func (m *Memory) Touched() int { return len(m.entries) }
 // parallel-equivalence tests in internal/fuzz compare failure output
 // byte for byte).
 func (m *Memory) ForEach(fn func(blockIndex uint64, e *directory.Entry)) {
-	idxs := make([]uint64, 0, len(m.entries))
-	for idx := range m.entries { //cenju4:order-insensitive — keys are sorted below
-		idxs = append(idxs, idx)
+	if m.dense != nil {
+		idxs := make([]uint64, 0, len(m.dense))
+		for idx := range m.dense { //cenju4:order-insensitive — keys are sorted below
+			idxs = append(idxs, idx)
+		}
+		slices.Sort(idxs)
+		for _, idx := range idxs {
+			fn(idx, m.dense[idx])
+		}
+		return
 	}
-	slices.Sort(idxs)
-	for _, idx := range idxs {
-		fn(idx, m.entries[idx])
+	keys := make([]uint64, 0, len(m.pages))
+	for k := range m.pages { //cenju4:order-insensitive — keys are sorted below
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	for _, k := range keys {
+		p := m.pages[k]
+		for w := range p.touched {
+			set := p.touched[w]
+			for set != 0 {
+				b := bits.TrailingZeros64(set)
+				set &= set - 1
+				i := w<<6 | b
+				fn(k<<dirPageShift|uint64(i), &p.entries[i])
+			}
+		}
 	}
 }
 
 // DirectoryBytes returns the directory storage in use (8 bytes per
 // touched block; the hardware reserves 1/16 of memory statically).
-func (m *Memory) DirectoryBytes() int { return len(m.entries) * topology.DirEntryBytes }
+func (m *Memory) DirectoryBytes() int { return m.Touched() * topology.DirEntryBytes }
 
 // Queue is a bounded FIFO backed by main memory. Overflow is a protocol
 // invariant violation and panics: the paper's sizing argument guarantees
 // the bound (4 outstanding requests per node x N nodes), and the tests
 // drive the system to that bound.
+//
+// Storage is a lazily allocated power-of-two ring: a queue that is
+// never pushed to costs only the header, and a draining queue reuses
+// its slots instead of append-growing and copy-compacting as the
+// previous slice layout did — Push and Pop are allocation-free except
+// when the ring itself must double.
 type Queue[T any] struct {
 	name      string
-	entries   []T
-	head      int
+	ring      []T // power-of-two length; nil until first Push
+	head      uint64
+	tail      uint64 // monotonic; index = counter & (len(ring)-1)
 	capacity  int
 	entryBits int
 	highWater int
@@ -101,7 +205,7 @@ func NewQueue[T any](name string, capacity, entryBits int) *Queue[T] {
 func (q *Queue[T]) Name() string { return q.name }
 
 // Len returns the number of queued entries.
-func (q *Queue[T]) Len() int { return len(q.entries) - q.head }
+func (q *Queue[T]) Len() int { return int(q.tail - q.head) }
 
 // Empty reports whether the queue is empty.
 func (q *Queue[T]) Empty() bool { return q.Len() == 0 }
@@ -117,46 +221,63 @@ func (q *Queue[T]) HighWater() int { return q.highWater }
 func (q *Queue[T]) BufferBytes() int { return q.capacity * q.entryBits / 8 }
 
 // Push appends v. It panics on overflow — see the type comment.
+//
+//cenju4:hotpath
 func (q *Queue[T]) Push(v T) {
-	if q.Len() >= q.capacity {
+	n := q.Len()
+	if n >= q.capacity {
 		panic(fmt.Sprintf("memory: queue %q overflow beyond %d entries — protocol sizing invariant violated", q.name, q.capacity))
 	}
-	q.entries = append(q.entries, v)
-	if q.Len() > q.highWater {
-		q.highWater = q.Len()
+	if n == len(q.ring) {
+		q.grow()
 	}
+	q.ring[q.tail&uint64(len(q.ring)-1)] = v
+	q.tail++
+	if n+1 > q.highWater {
+		q.highWater = n + 1
+	}
+}
+
+// grow doubles the ring (min 8 slots), relinearizing the live entries.
+func (q *Queue[T]) grow() {
+	size := 8
+	for size < 2*len(q.ring) {
+		size <<= 1
+	}
+	//cenju4:alloc-ok ring doubling amortizes across the pushes that filled it
+	next := make([]T, size)
+	mask := uint64(len(q.ring) - 1)
+	for i, c := 0, q.head; c != q.tail; i, c = i+1, c+1 {
+		next[i] = q.ring[c&mask]
+	}
+	q.ring = next
+	q.tail -= q.head
+	q.head = 0
 }
 
 // Peek returns the head entry without removing it ("reads the request at
 // the top of the queue (does not dequeue yet)").
+//
+//cenju4:hotpath
 func (q *Queue[T]) Peek() (T, bool) {
 	var zero T
 	if q.Empty() {
 		return zero, false
 	}
-	return q.entries[q.head], true
+	return q.ring[q.head&uint64(len(q.ring)-1)], true
 }
 
 // Pop removes and returns the head entry.
+//
+//cenju4:hotpath
 func (q *Queue[T]) Pop() (T, bool) {
 	v, ok := q.Peek()
 	if !ok {
 		return v, false
 	}
 	var zero T
-	q.entries[q.head] = zero
+	q.ring[q.head&uint64(len(q.ring)-1)] = zero
 	q.head++
-	if q.head == len(q.entries) { // fully drained: reset backing storage
-		q.entries = q.entries[:0]
-		q.head = 0
-	} else if q.head > 4096 && q.head*2 > len(q.entries) {
-		n := copy(q.entries, q.entries[q.head:])
-		for i := n; i < len(q.entries); i++ {
-			q.entries[i] = zero
-		}
-		q.entries = q.entries[:n]
-		q.head = 0
-	}
 	return v, true
 }
 

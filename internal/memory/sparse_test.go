@@ -1,0 +1,167 @@
+package memory
+
+// Differential property tests for the sparse storage layouts against
+// their retained dense references:
+//
+//   - paged directory store (New) vs the flat map-of-heap-entries
+//     layout (NewDense): randomized entry mutations must produce
+//     identical Touched/DirectoryBytes, identical ForEach sequences,
+//     and identical entry words.
+//   - ring-buffer Queue vs the append-slice reference it replaced:
+//     randomized push/pop interleavings must agree on every value,
+//     length, and high-water mark.
+//
+// The machine-scope digest differential (internal/machine) composes on
+// top of these layer-local proofs.
+
+import (
+	"math/rand"
+	"testing"
+
+	"cenju4/internal/directory"
+	"cenju4/internal/topology"
+)
+
+func TestDifferentialSparseVsDenseDirectory(t *testing.T) {
+	const home = topology.NodeID(3)
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		sparse := New(home)
+		dense := NewDense(home)
+		// Address pool mixing blocks within one page, across adjacent
+		// pages, and far apart (distinct page-map keys).
+		blocks := make([]uint64, 0, 64)
+		for i := 0; i < 64; i++ {
+			switch rng.Intn(3) {
+			case 0:
+				blocks = append(blocks, uint64(rng.Intn(dirPageBlocks)))
+			case 1:
+				blocks = append(blocks, uint64(rng.Intn(4*dirPageBlocks)))
+			default:
+				blocks = append(blocks, uint64(rng.Intn(1<<20)))
+			}
+		}
+		addrFor := func(block uint64) topology.Addr {
+			return topology.SharedAddr(home, block*topology.BlockSize)
+		}
+		for op := 0; op < 4000; op++ {
+			a := addrFor(blocks[rng.Intn(len(blocks))])
+			es, ed := sparse.Entry(a), dense.Entry(a)
+			switch rng.Intn(5) {
+			case 0:
+				es.SetReserved(true)
+				ed.SetReserved(true)
+			case 1:
+				st := directory.State(rng.Intn(6))
+				es.SetState(st)
+				ed.SetState(st)
+			case 2:
+				n := topology.NodeID(rng.Intn(1024))
+				es.MapAdd(n)
+				ed.MapAdd(n)
+			case 3:
+				es.MapClear()
+				ed.MapClear()
+			case 4:
+				n := topology.NodeID(rng.Intn(1024))
+				es.MapSetOnly(n)
+				ed.MapSetOnly(n)
+			}
+			if *es != *ed {
+				t.Fatalf("seed %d op %d: entry %v diverged: sparse %v dense %v", seed, op, a, *es, *ed)
+			}
+		}
+		if sparse.Touched() != dense.Touched() {
+			t.Fatalf("seed %d: Touched %d vs %d", seed, sparse.Touched(), dense.Touched())
+		}
+		if sparse.DirectoryBytes() != dense.DirectoryBytes() {
+			t.Fatalf("seed %d: DirectoryBytes %d vs %d", seed, sparse.DirectoryBytes(), dense.DirectoryBytes())
+		}
+		type visit struct {
+			idx uint64
+			e   directory.Entry
+		}
+		var vs, vd []visit
+		sparse.ForEach(func(i uint64, e *directory.Entry) { vs = append(vs, visit{i, *e}) })
+		dense.ForEach(func(i uint64, e *directory.Entry) { vd = append(vd, visit{i, *e}) })
+		if len(vs) != len(vd) {
+			t.Fatalf("seed %d: ForEach visited %d vs %d entries", seed, len(vs), len(vd))
+		}
+		for i := range vs {
+			if vs[i] != vd[i] {
+				t.Fatalf("seed %d: ForEach[%d] = %+v vs %+v", seed, i, vs[i], vd[i])
+			}
+		}
+	}
+}
+
+// refQueue is the append-slice FIFO the ring replaced, reproduced
+// verbatim (including head compaction) as the differential oracle.
+type refQueue struct {
+	entries   []int
+	head      int
+	capacity  int
+	highWater int
+}
+
+func (q *refQueue) len() int { return len(q.entries) - q.head }
+
+func (q *refQueue) push(v int) {
+	q.entries = append(q.entries, v)
+	if q.len() > q.highWater {
+		q.highWater = q.len()
+	}
+}
+
+func (q *refQueue) pop() (int, bool) {
+	if q.len() == 0 {
+		return 0, false
+	}
+	v := q.entries[q.head]
+	q.entries[q.head] = 0
+	q.head++
+	if q.head == len(q.entries) {
+		q.entries = q.entries[:0]
+		q.head = 0
+	} else if q.head > 4096 && q.head*2 > len(q.entries) {
+		n := copy(q.entries, q.entries[q.head:])
+		for i := n; i < len(q.entries); i++ {
+			q.entries[i] = 0
+		}
+		q.entries = q.entries[:n]
+		q.head = 0
+	}
+	return v, true
+}
+
+func TestDifferentialRingVsSliceQueue(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(100 + seed))
+		cap := 1 + rng.Intn(64)
+		ring := NewQueue[int]("diff", cap, 64)
+		ref := &refQueue{capacity: cap}
+		next := 0
+		for op := 0; op < 20000; op++ {
+			if rng.Intn(2) == 0 && ref.len() < cap {
+				ring.Push(next)
+				ref.push(next)
+				next++
+			} else {
+				gv, gok := ring.Pop()
+				wv, wok := ref.pop()
+				if gv != wv || gok != wok {
+					t.Fatalf("seed %d op %d: Pop = (%d,%v) want (%d,%v)", seed, op, gv, gok, wv, wok)
+				}
+			}
+			if pv, pok := ring.Peek(); pok != (ref.len() > 0) || (pok && pv != ref.entries[ref.head]) {
+				t.Fatalf("seed %d op %d: Peek mismatch", seed, op)
+			}
+			if ring.Len() != ref.len() {
+				t.Fatalf("seed %d op %d: Len %d want %d", seed, op, ring.Len(), ref.len())
+			}
+			if ring.HighWater() != ref.highWater {
+				t.Fatalf("seed %d op %d: HighWater %d want %d", seed, op, ring.HighWater(), ref.highWater)
+			}
+		}
+	}
+}

@@ -55,6 +55,10 @@ const (
 	UpdateAck   // node -> home, gathered
 )
 
+// NumKinds is the number of defined Kind values, for sizing per-kind
+// count/table arrays indexed by Kind.
+const NumKinds = int(UpdateAck) + 1
+
 var kindNames = [...]string{
 	"invalid", "read-shared", "read-exclusive", "ownership", "writeback",
 	"fwd-read-shared", "fwd-read-exclusive", "invalidate",
@@ -153,8 +157,7 @@ type Message struct {
 // gather's home. (An Invalidate multicast also carries the Gather — as
 // metadata for the slaves — but is not itself a contribution.)
 func (m *Message) GatherContribution() bool {
-	return m.Gather != nil && !m.Dest.IsPattern &&
-		len(m.Dest.Pointers) == 1 && m.Dest.Pointers[0] == m.Gather.Home
+	return m.Gather != nil && m.Dest.SingleTo(m.Gather.Home)
 }
 
 // Bytes returns the wire size of the message.

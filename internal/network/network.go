@@ -114,7 +114,13 @@ type gatherEntry struct {
 
 type switchState struct {
 	portBusy [topology.SwitchRadix]sim.Time
-	gathers  map[uint64]*gatherEntry
+	// g1ID/g1 are a one-entry cache in front of the gathers map: reply
+	// gathering keeps at most a handful of groups live per switch (peak
+	// concurrency is tracked in Stats.PeakGathers), so almost every
+	// lookup on the reply hot path hits here without touching the map.
+	g1ID    uint64
+	g1      *gatherEntry
+	gathers map[uint64]*gatherEntry
 }
 
 // Network is a simulated multistage interconnection network.
@@ -142,11 +148,14 @@ type Network struct {
 
 	// Hot-path scratch pools, all single-threaded like the engine:
 	// memberBuf backs Send's destination expansion, freeDeliveries
-	// recycles the per-event delivery records handed to sim.AtCall, and
-	// freeGathers recycles per-(gather, switch) merge entries.
+	// recycles the per-event delivery records handed to sim.AtCall,
+	// freeGathers recycles per-(gather, switch) merge entries, and
+	// freeGroups recycles the msg.Gather group records themselves (a
+	// group retires when its combined reply is delivered to the home).
 	memberBuf      []topology.NodeID
 	freeDeliveries []*deliveryEvent
 	freeGathers    []*gatherEntry
+	freeGroups     []*msg.Gather
 }
 
 // deliveryEvent carries one scheduled handler invocation through the event
@@ -168,8 +177,20 @@ func runDelivery(x any) {
 	n, m, node := d.n, d.m, d.node
 	d.m = nil
 	n.freeDeliveries = append(n.freeDeliveries, d)
+	// A delivered gathered reply (InvAck/UpdateAck — never the Invalidate
+	// or UpdateData multicast, whose copies merely carry the group as
+	// metadata) is its group's single combined arrival: after the handler
+	// consumes it the group record is dead and can be recycled. Handlers
+	// must not retain it, the same contract the message pool imposes.
+	var g *msg.Gather
+	if m.Gather != nil && (m.Kind == msg.InvAck || m.Kind == msg.UpdateAck) {
+		g = m.Gather
+	}
 	n.handlers[node](m)
 	n.cfg.Pool.Put(m)
+	if g != nil {
+		n.freeGroups = append(n.freeGroups, g)
+	}
 }
 
 // allocDelivery returns a delivery record bound to n.
@@ -454,6 +475,8 @@ func (n *Network) mcSwitch(m *msg.Message, k, prefix int) *switchState {
 // AllocGather creates a gather group for a multicast with the given
 // destination structure, collecting at home. The caller attaches the
 // returned Gather to every reply of the group.
+//
+//cenju4:hotpath
 func (n *Network) AllocGather(spec directory.Dest, home topology.NodeID) *msg.Gather {
 	n.nextGatherID++
 	n.stats.Gathers++
@@ -461,6 +484,14 @@ func (n *Network) AllocGather(spec directory.Dest, home topology.NodeID) *msg.Ga
 	if n.activeGathers > n.stats.PeakGathers {
 		n.stats.PeakGathers = n.activeGathers
 	}
+	if k := len(n.freeGroups); k > 0 {
+		g := n.freeGroups[k-1]
+		n.freeGroups[k-1] = nil
+		n.freeGroups = n.freeGroups[:k-1]
+		*g = msg.Gather{ID: n.nextGatherID, Spec: spec, Home: home}
+		return g
+	}
+	//cenju4:alloc-ok pool miss grows the steady-state working set once, then recycles
 	return &msg.Gather{ID: n.nextGatherID, Spec: spec, Home: home}
 }
 
@@ -504,15 +535,25 @@ func (n *Network) walkGather(m *msg.Message, t sim.Time) {
 	merged := g.Merged
 	for k := 0; k < n.stages; k++ {
 		sw := n.switchFor(k, src, home)
-		if sw.gathers == nil {
-			//cenju4:alloc-ok created once per switch, retained for the network's lifetime
-			sw.gathers = make(map[uint64]*gatherEntry)
+		var ge *gatherEntry
+		switch {
+		case sw.g1 != nil && sw.g1ID == g.ID:
+			ge = sw.g1
+		case sw.gathers != nil:
+			ge = sw.gathers[g.ID]
 		}
-		ge := sw.gathers[g.ID]
 		if ge == nil {
 			ge = n.allocGatherEntry()
 			ge.waitMask = n.waitPattern(g.Spec, src, k)
-			sw.gathers[g.ID] = ge
+			if sw.g1 == nil {
+				sw.g1, sw.g1ID = ge, g.ID
+			} else {
+				if sw.gathers == nil {
+					//cenju4:alloc-ok created on first cache overflow, retained for the network's lifetime
+					sw.gathers = make(map[uint64]*gatherEntry)
+				}
+				sw.gathers[g.ID] = ge
+			}
 		}
 		inPort := n.digit(src, k)
 		ge.waitMask &^= 1 << inPort
@@ -530,7 +571,11 @@ func (n *Network) walkGather(m *msg.Message, t sim.Time) {
 		// Last contribution: forward the combined message.
 		merged = ge.merged
 		t = ge.latest + p.GatherMerge
-		delete(sw.gathers, g.ID)
+		if sw.g1 == ge {
+			sw.g1 = nil
+		} else {
+			delete(sw.gathers, g.ID)
+		}
 		n.freeGathers = append(n.freeGathers, ge)
 		port := n.digit(home, k)
 		start := n.claim(&sw.portBusy[port], t, ser)

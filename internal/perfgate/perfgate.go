@@ -8,6 +8,11 @@
 // baseline range's upper bound times a tolerance factor. Memory
 // figures (B/op, allocs/op) are compared too when present — allocation
 // counts are deterministic, so they get a much tighter tolerance.
+//
+// Baselines may additionally declare throughput floors on custom
+// b.ReportMetric columns (BENCH_scale.json pins a msgs/sec minimum on
+// the 1024-node storm benchmark); floors divide by the same tolerance
+// the ceilings multiply by.
 package perfgate
 
 import (
@@ -32,6 +37,13 @@ type Baseline struct {
 type BaselineBenchmark struct {
 	Name  string        `json:"name"`
 	After BaselineRange `json:"after"`
+	// Floors lists per-metric minimums for custom benchmark metrics
+	// (b.ReportMetric units such as "msgs/sec"): the best (maximum)
+	// sample of each named metric must reach floor / Tolerance. Where a
+	// ns/op band is an upper bound on cost, a floor is a lower bound on
+	// throughput — BENCH_scale.json uses one to pin the 1024-node
+	// protocol message rate.
+	Floors map[string]float64 `json:"floors,omitempty"`
 }
 
 // BaselineRange is the post-optimization measurement band.
@@ -65,6 +77,9 @@ type Sample struct {
 	NsOp     float64 // ns/op
 	BOp      float64 // B/op, -1 if the line had no -benchmem columns
 	AllocsOp float64 // allocs/op, -1 likewise
+	// Metrics holds custom b.ReportMetric columns by unit (for example
+	// "msgs/sec"); nil when the line carries none.
+	Metrics map[string]float64
 }
 
 // ParseBench extracts benchmark samples from `go test -bench` output.
@@ -99,6 +114,11 @@ func ParseBench(r io.Reader) ([]Sample, error) {
 				s.BOp = v
 			case "allocs/op":
 				s.AllocsOp = v
+			default:
+				if s.Metrics == nil {
+					s.Metrics = make(map[string]float64)
+				}
+				s.Metrics[f[i+1]] = v
 			}
 		}
 		out = append(out, s)
@@ -202,12 +222,45 @@ func Check(b Baseline, samples []Sample, opts Options) []Verdict {
 		case v.MinAllocs >= 0 && bm.After.AllocsOp == 0 && v.MinAllocs > 0:
 			v.Reason = fmt.Sprintf("best %.0f allocs/op but the baseline is allocation-free", v.MinAllocs)
 		default:
-			v.Pass = true
+			v.Reason = checkFloors(bm, ss, opts)
+			v.Pass = v.Reason == ""
 		}
 		verdicts = append(verdicts, v)
 	}
 	sort.Slice(verdicts, func(i, j int) bool { return verdicts[i].Name < verdicts[j].Name })
 	return verdicts
+}
+
+// checkFloors enforces the benchmark's custom-metric floors against the
+// samples: the best (maximum) value of each metric must reach
+// floor / Tolerance (the same slack direction the ns/op ceiling grants a
+// slow CI box). Returns "" when every floor holds.
+func checkFloors(bm BaselineBenchmark, ss []Sample, opts Options) string {
+	if len(bm.Floors) == 0 {
+		return ""
+	}
+	units := make([]string, 0, len(bm.Floors))
+	for u := range bm.Floors {
+		units = append(units, u)
+	}
+	sort.Strings(units)
+	for _, u := range units {
+		best, seen := 0.0, false
+		for _, s := range ss {
+			if v, ok := s.Metrics[u]; ok && (!seen || v > best) {
+				best, seen = v, true
+			}
+		}
+		required := bm.Floors[u] / opts.Tolerance
+		switch {
+		case !seen:
+			return fmt.Sprintf("metric %q not reported by any sample (floor %.0f)", u, bm.Floors[u])
+		case best < required:
+			return fmt.Sprintf("best %.0f %s below floor %.0f (baseline %.0f / tolerance %.2g)",
+				best, u, required, bm.Floors[u], opts.Tolerance)
+		}
+	}
+	return ""
 }
 
 // Gate runs Check and renders a report; it returns an error listing

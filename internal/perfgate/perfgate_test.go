@@ -133,6 +133,88 @@ func TestCheckFailsOnMissingBenchmark(t *testing.T) {
 	}
 }
 
+func TestParseBenchCustomMetrics(t *testing.T) {
+	line := "BenchmarkMulticastStorm1024-8  6087  174008 ns/op  11769573 msgs/sec  50 B/op  0 allocs/op\n"
+	samples, err := ParseBench(strings.NewReader(line))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := samples[0]
+	if s.Metrics["msgs/sec"] != 11769573 {
+		t.Fatalf("msgs/sec = %g, want 11769573", s.Metrics["msgs/sec"])
+	}
+	if s.BOp != 50 || s.AllocsOp != 0 {
+		t.Fatalf("benchmem columns misparsed alongside a custom metric: %+v", s)
+	}
+}
+
+func floorBaseline() Baseline {
+	return Baseline{Benchmarks: []BaselineBenchmark{{
+		Name:   "BenchmarkStorm",
+		After:  BaselineRange{NsOpRange: []float64{100000, 200000}, AllocsOp: 0},
+		Floors: map[string]float64{"msgs/sec": 10_000_000},
+	}}}
+}
+
+func TestCheckFloorPasses(t *testing.T) {
+	samples := []Sample{
+		{Name: "BenchmarkStorm", NsOp: 150000, AllocsOp: 0, Metrics: map[string]float64{"msgs/sec": 4_100_000}},
+	}
+	// 4.1M clears 10M / 2.5 tolerance.
+	for _, v := range Check(floorBaseline(), samples, Options{}) {
+		if !v.Pass {
+			t.Fatalf("%s failed above the tolerated floor: %s", v.Name, v.Reason)
+		}
+	}
+}
+
+func TestCheckFloorFailsBelow(t *testing.T) {
+	samples := []Sample{
+		{Name: "BenchmarkStorm", NsOp: 150000, AllocsOp: 0, Metrics: map[string]float64{"msgs/sec": 3_900_000}},
+	}
+	v := Check(floorBaseline(), samples, Options{})[0]
+	if v.Pass {
+		t.Fatal("gate passed below the throughput floor")
+	}
+	if !strings.Contains(v.Reason, "msgs/sec") {
+		t.Fatalf("reason does not name the metric: %s", v.Reason)
+	}
+}
+
+func TestCheckFloorFailsWhenUnreported(t *testing.T) {
+	samples := []Sample{{Name: "BenchmarkStorm", NsOp: 150000, AllocsOp: 0}}
+	v := Check(floorBaseline(), samples, Options{})[0]
+	if v.Pass {
+		t.Fatal("gate passed with the floored metric missing from the output")
+	}
+}
+
+// TestCommittedScaleBaselineParses: BENCH_scale.json must stay
+// parseable and keep the 10M msgs/sec floor the scale claim rests on.
+func TestCommittedScaleBaselineParses(t *testing.T) {
+	f, err := os.Open("../../BENCH_scale.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	b, err := ParseBaseline(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var storm *BaselineBenchmark
+	for i := range b.Benchmarks {
+		if b.Benchmarks[i].Name == "BenchmarkMulticastStorm1024" {
+			storm = &b.Benchmarks[i]
+		}
+	}
+	if storm == nil {
+		t.Fatal("BENCH_scale.json does not list BenchmarkMulticastStorm1024")
+	}
+	if storm.Floors["msgs/sec"] < 10_000_000 {
+		t.Fatalf("msgs/sec floor = %g, want >= 10M", storm.Floors["msgs/sec"])
+	}
+}
+
 // TestCommittedBaselineParses: the real BENCH_sim.json at the repo
 // root must stay parseable by the gate.
 func TestCommittedBaselineParses(t *testing.T) {

@@ -7,6 +7,16 @@ package sim
 // heap sift. Power-of-two bucket widths keep indexing to a shift and a
 // mask.
 //
+// Buckets are intrusive singly-linked lists threaded through
+// Event.next: a push is a pointer prepend, and scans, compactions and
+// rebuilds relink events in place. The queue therefore allocates only
+// when the bucket *count* grows (a rebuild to a larger power of two) —
+// never per push — which is what keeps the sparse-horizon schedule
+// allocation-free in steady state (see TestCalQueueSparseAllocs). The
+// earlier slice-of-slices layout re-grew every bucket's backing array
+// after each rebuild, costing tens of thousands of allocations per
+// sparse run.
+//
 // Ordering contract (identical to the heap it replaced, proven by the
 // differential test in calqueue_test.go): events dequeue in ascending
 // (at, seq) order. The invariant that makes the cursor-bucket scan
@@ -14,29 +24,41 @@ package sim
 // cursor window start) — push resets the cursor whenever an insertion
 // would land before it — so all events due in the current window
 // [bucketTop-width, bucketTop) hash to the cursor bucket itself, and
-// the window minimum is the global minimum.
+// the window minimum is the global minimum. Order within a bucket list
+// is irrelevant: a dequeue drains the window into the due min-heap and
+// pops its (at, seq) minimum, which is unique because sequence numbers
+// are.
 //
 // Cancellation is lazy: Engine.Cancel only marks the event dead and
-// adjusts counters; the entry is dropped when a scan or rebuild next
+// adjusts counters; the entry is unlinked when a scan or rebuild next
 // touches it. Rebuilds re-spread events over 2x the live count in
 // buckets and re-derive the width from the live span, so occupancy
 // stays O(1) per bucket per year for self-similar schedules.
 type calQueue struct {
-	buckets [][]*Event
-	mask    uint64 // len(buckets)-1; len is a power of two
-	shift   uint   // bucket width = 1 << shift nanoseconds
-	size    int    // live (non-canceled) events
-	dead    int    // canceled events still resident in buckets
-	cur     int    // cursor bucket index
+	buckets []*Event // head of each bucket's intrusive list
+	mask    uint64   // len(buckets)-1; len is a power of two
+	shift   uint     // bucket width = 1 << shift nanoseconds
+	size    int      // live (non-canceled) events
+	dead    int      // canceled events still resident in buckets or due
+	cur     int      // cursor bucket index
 	// bucketTop is the exclusive upper time bound of the cursor
 	// bucket's active window.
 	bucketTop Time
+	// due is a binary min-heap (by (at, seq)) of events already unlinked
+	// from the cursor bucket because they fall inside the active window.
+	// Extracting the whole window once and heap-ordering it makes a
+	// same-timestamp burst of k events cost O(k log k) total instead of
+	// the O(k^2) a per-pop rescan of the bucket list costs — the
+	// difference between milliseconds and microseconds for a 1024-node
+	// invalidation storm, whose deliveries all land on one tick. The
+	// slice is scratch storage, reused across pops.
+	due []*Event
 }
 
 const calMinBuckets = 8
 
 func (q *calQueue) init() {
-	q.buckets = make([][]*Event, calMinBuckets)
+	q.buckets = make([]*Event, calMinBuckets)
 	q.mask = calMinBuckets - 1
 	q.shift = 0
 	q.resetCursor(0)
@@ -65,7 +87,8 @@ func (q *calQueue) push(ev *Event) {
 		q.resetCursor(ev.at)
 	}
 	b := q.bucketFor(ev.at)
-	q.buckets[b] = append(q.buckets[b], ev)
+	ev.next = q.buckets[b]
+	q.buckets[b] = ev
 	q.size++
 	if q.size+q.dead > 2*len(q.buckets) {
 		q.rebuild()
@@ -86,9 +109,11 @@ func (q *calQueue) pop() *Event {
 	}
 	w := q.width()
 	for scanned := 0; scanned < len(q.buckets); scanned++ {
-		if ev := q.scanBucket(q.cur); ev != nil {
+		q.drainDue(q.cur)
+		q.pruneDueHead()
+		if len(q.due) > 0 && q.due[0].at < q.bucketTop {
 			q.size--
-			return ev
+			return q.heapPop()
 		}
 		q.cur = int(uint64(q.cur+1) & q.mask)
 		q.bucketTop += w
@@ -101,107 +126,186 @@ func (q *calQueue) pop() *Event {
 	return ev
 }
 
-// scanBucket removes and returns the minimum due event of bucket i
-// (due: at < bucketTop), dropping dead entries as it goes.
-func (q *calQueue) scanBucket(i int) *Event {
-	b := q.buckets[i]
-	best := -1
-	for j := 0; j < len(b); {
-		ev := b[j]
+// drainDue unlinks every event of bucket i that falls inside the active
+// window (at < bucketTop) into the due heap, dropping dead entries as it
+// goes. Events beyond the window (a whole ring ahead) stay in place.
+func (q *calQueue) drainDue(i int) {
+	var prev *Event
+	for ev := q.buckets[i]; ev != nil; {
 		if ev.dead {
-			b[j] = b[len(b)-1]
-			b[len(b)-1] = nil
-			b = b[:len(b)-1]
+			next := ev.next
+			if prev == nil {
+				q.buckets[i] = next
+			} else {
+				prev.next = next
+			}
+			ev.next = nil
 			q.dead--
+			ev = next
 			continue
 		}
-		if ev.at < q.bucketTop &&
-			(best < 0 || ev.at < b[best].at || (ev.at == b[best].at && ev.seq < b[best].seq)) {
-			best = j
+		if ev.at < q.bucketTop {
+			next := ev.next
+			if prev == nil {
+				q.buckets[i] = next
+			} else {
+				prev.next = next
+			}
+			ev.next = nil
+			q.heapPush(ev)
+			ev = next
+			continue
 		}
-		j++
+		prev = ev
+		ev = ev.next
 	}
-	q.buckets[i] = b
-	if best < 0 {
-		return nil
+}
+
+// eventBefore is the queue's total order: ascending (at, seq).
+func eventBefore(a, b *Event) bool {
+	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
+}
+
+// pruneDueHead discards canceled events from the top of the due heap so
+// the head, if any, is live.
+func (q *calQueue) pruneDueHead() {
+	for len(q.due) > 0 && q.due[0].dead {
+		q.dead--
+		q.heapPop()
 	}
-	ev := b[best]
-	b[best] = b[len(b)-1]
-	b[len(b)-1] = nil
-	q.buckets[i] = b[:len(b)-1]
+}
+
+//cenju4:hotpath
+func (q *calQueue) heapPush(ev *Event) {
+	//cenju4:alloc-ok due-heap growth amortizes across the bursts that filled it
+	q.due = append(q.due, ev)
+	j := len(q.due) - 1
+	for j > 0 {
+		p := (j - 1) / 2
+		if !eventBefore(q.due[j], q.due[p]) {
+			break
+		}
+		q.due[j], q.due[p] = q.due[p], q.due[j]
+		j = p
+	}
+}
+
+//cenju4:hotpath
+func (q *calQueue) heapPop() *Event {
+	ev := q.due[0]
+	last := len(q.due) - 1
+	q.due[0] = q.due[last]
+	q.due[last] = nil
+	q.due = q.due[:last]
+	j := 0
+	for {
+		l := 2*j + 1
+		if l >= last {
+			break
+		}
+		s := l
+		if r := l + 1; r < last && eventBefore(q.due[r], q.due[l]) {
+			s = r
+		}
+		if !eventBefore(q.due[s], q.due[j]) {
+			break
+		}
+		q.due[j], q.due[s] = q.due[s], q.due[j]
+		j = s
+	}
 	return ev
 }
 
 // popMinDirect removes and returns the global minimum by (at, seq) with
-// a full sweep, and repositions the cursor at its window.
+// a full sweep of the buckets and the due heap, and repositions the
+// cursor at its window.
 func (q *calQueue) popMinDirect() *Event {
-	var best *Event
+	var best, bestPrev *Event
 	bi := -1
 	for i := range q.buckets {
-		b := q.buckets[i]
-		for j := 0; j < len(b); {
-			ev := b[j]
+		var prev *Event
+		for ev := q.buckets[i]; ev != nil; {
 			if ev.dead {
-				b[j] = b[len(b)-1]
-				b[len(b)-1] = nil
-				b = b[:len(b)-1]
+				next := ev.next
+				if prev == nil {
+					q.buckets[i] = next
+				} else {
+					prev.next = next
+				}
+				ev.next = nil
 				q.dead--
+				ev = next
 				continue
 			}
-			if best == nil || ev.at < best.at || (ev.at == best.at && ev.seq < best.seq) {
-				best = ev
-				bi = i
+			if best == nil || eventBefore(ev, best) {
+				best, bestPrev, bi = ev, prev, i
 			}
-			j++
+			prev = ev
+			ev = ev.next
 		}
-		q.buckets[i] = b
+	}
+	q.pruneDueHead()
+	if len(q.due) > 0 && (best == nil || eventBefore(q.due[0], best)) {
+		ev := q.heapPop()
+		q.resetCursor(ev.at)
+		return ev
 	}
 	if best == nil {
 		panic("sim: calendar queue lost an event") // size said otherwise
 	}
-	b := q.buckets[bi]
-	for j, ev := range b {
-		if ev == best {
-			b[j] = b[len(b)-1]
-			b[len(b)-1] = nil
-			q.buckets[bi] = b[:len(b)-1]
-			break
-		}
+	if bestPrev == nil {
+		q.buckets[bi] = best.next
+	} else {
+		bestPrev.next = best.next
 	}
+	best.next = nil
 	q.resetCursor(best.at)
 	return best
 }
 
 // rebuild re-spreads the live events over a bucket count sized for the
 // population and a width sized for the live span, dropping tombstones.
+// The live events are collected by relinking them into one chain, so
+// the only allocation is the bucket-head slice itself — and only when
+// the bucket count actually changes.
 func (q *calQueue) rebuild() {
-	//cenju4:alloc-ok rebuilds are O(live) and amortize across the pushes that doubled occupancy
-	live := make([]*Event, 0, q.size)
-	for _, b := range q.buckets {
-		for _, ev := range b {
-			if !ev.dead {
-				live = append(live, ev)
+	// Chain every live event together and measure the population. Due
+	// heap residents are live events too — fold them back in.
+	var live *Event
+	n := 0
+	var lo, hi Time
+	for i := range q.buckets {
+		for ev := q.buckets[i]; ev != nil; {
+			next := ev.next
+			if ev.dead {
+				ev.next = nil
+			} else {
+				if n == 0 {
+					lo, hi = ev.at, ev.at
+				} else {
+					if ev.at < lo {
+						lo = ev.at
+					}
+					if ev.at > hi {
+						hi = ev.at
+					}
+				}
+				ev.next = live
+				live = ev
+				n++
 			}
+			ev = next
 		}
+		q.buckets[i] = nil
 	}
-	q.dead = 0
-	q.size = len(live)
-
-	nb := calMinBuckets
-	for nb < 2*len(live) {
-		nb <<= 1
-	}
-	//cenju4:alloc-ok same amortization as the live slice above
-	q.buckets = make([][]*Event, nb)
-	q.mask = uint64(nb) - 1
-
-	// Width: the average inter-event gap of the live population, rounded
-	// down to a power of two (min 1). With nb >= 2*size this spreads a
-	// uniform schedule at <= 1 event per bucket per year.
-	q.shift = 0
-	if len(live) > 1 {
-		lo, hi := live[0].at, live[0].at
-		for _, ev := range live[1:] {
+	for i, ev := range q.due {
+		q.due[i] = nil
+		if ev.dead {
+			continue
+		}
+		if n == 0 {
+			lo, hi = ev.at, ev.at
+		} else {
 			if ev.at < lo {
 				lo = ev.at
 			}
@@ -209,18 +313,45 @@ func (q *calQueue) rebuild() {
 				hi = ev.at
 			}
 		}
-		gap := (hi - lo) / Time(len(live))
+		ev.next = live
+		live = ev
+		n++
+	}
+	q.due = q.due[:0]
+	q.dead = 0
+	q.size = n
+
+	nb := calMinBuckets
+	for nb < 2*n {
+		nb <<= 1
+	}
+	if nb != len(q.buckets) {
+		//cenju4:alloc-ok bucket-count growth amortizes across the pushes that doubled occupancy
+		q.buckets = make([]*Event, nb)
+		q.mask = uint64(nb) - 1
+	}
+
+	// Width: the average inter-event gap of the live population, rounded
+	// down to a power of two (min 1). With nb >= 2*size this spreads a
+	// uniform schedule at <= 1 event per bucket per year.
+	q.shift = 0
+	switch {
+	case n > 1:
+		gap := (hi - lo) / Time(n)
 		for q.shift < 40 && Time(1)<<(q.shift+1) <= gap {
 			q.shift++
 		}
 		q.resetCursor(lo)
-	} else if len(live) == 1 {
-		q.resetCursor(live[0].at)
-	} else {
+	case n == 1:
+		q.resetCursor(live.at)
+	default:
 		q.resetCursor(0)
 	}
-	for _, ev := range live {
+	for ev := live; ev != nil; {
+		next := ev.next
 		b := q.bucketFor(ev.at)
-		q.buckets[b] = append(q.buckets[b], ev)
+		ev.next = q.buckets[b]
+		q.buckets[b] = ev
+		ev = next
 	}
 }

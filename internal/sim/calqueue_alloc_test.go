@@ -1,0 +1,32 @@
+package sim
+
+import "testing"
+
+func sparseAllocNop(any) {}
+
+// TestCalQueueSparseAllocs pins the sparse-horizon allocation fix: the
+// BenchmarkEngineRunSparse schedule shape (16384 events spread over a
+// 2^27 ns horizon, forcing the queue through its full rebuild ladder on
+// the first round) must be allocation-free in steady state. Before the
+// intrusive-list buckets, every push appended to a freshly rebuilt
+// bucket slice and this shape cost ~25k allocations per round
+// (BENCH_sim.json "after": 41818 allocs/op including the benchmark's
+// own closures, vs 16474 with the fix — i.e. only the closures).
+//
+// The measured round uses AtCall with a static callback so the queue
+// and the event pool are the only possible allocators.
+func TestCalQueueSparseAllocs(t *testing.T) {
+	eng := NewEngine()
+	round := func() {
+		tt := eng.Now() // rounds accumulate on the engine clock
+		for j := 0; j < 16384; j++ {
+			tt += Time(1 + (uint64(j)*2654435761)%(1<<27))
+			eng.AtCall(tt, sparseAllocNop, nil)
+		}
+		eng.Run()
+	}
+	round() // warm: event pool filled, buckets grown to final ladder size
+	if allocs := testing.AllocsPerRun(5, round); allocs > 8 {
+		t.Fatalf("sparse steady-state round allocated %.0f times; want ~0 (per-push bucket allocation regressed)", allocs)
+	}
+}

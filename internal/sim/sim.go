@@ -42,8 +42,9 @@ type Event struct {
 	fn     func()
 	fnc    func(any)
 	arg    any
-	dead   bool // canceled before firing
-	queued bool // currently in the calendar queue
+	next   *Event // intrusive calendar-queue bucket link (see calqueue.go)
+	dead   bool   // canceled before firing
+	queued bool   // currently in the calendar queue
 }
 
 // Canceled reports whether the event was canceled before firing. Only
