@@ -33,6 +33,7 @@ import (
 
 	"cenju4/internal/core"
 	"cenju4/internal/directory"
+	"cenju4/internal/faults"
 	"cenju4/internal/fuzz"
 	"cenju4/internal/machine"
 	"cenju4/internal/metrics"
@@ -235,6 +236,12 @@ type WorkloadOptions struct {
 	// proposal): stores broadcast data to a third-level cache in every
 	// node's main memory and loads are satisfied locally.
 	UpdateProtocol bool
+	// Fault is a deterministic fault plan — a preset name like
+	// "light-loss" or a k=v spec like "drop=0.02,seed=7" (see
+	// internal/faults). Recoverable plans only: the run must complete,
+	// so an unrecoverable plan aborts with the machine watchdog's
+	// diagnosis. Empty means fault-free.
+	Fault string
 	// Metrics, when non-nil, receives the run's observability registry
 	// (counters, watermark gauges, latency histograms) — see
 	// internal/metrics.
@@ -277,7 +284,18 @@ func RunNPB(app, variant string, opts WorkloadOptions) (WorkloadResult, error) {
 	if err != nil {
 		return WorkloadResult{}, err
 	}
-	m := machine.New(machine.Config{Nodes: opts.Nodes, Multicast: true, UpdateMode: w.UpdateMode})
+	var fault faults.Spec
+	if opts.Fault != "" {
+		fault, err = faults.ParseSpec(opts.Fault)
+		if err != nil {
+			return WorkloadResult{}, err
+		}
+		fault = fault.Normalize()
+		if err := fault.Validate(); err != nil {
+			return WorkloadResult{}, err
+		}
+	}
+	m := machine.New(machine.Config{Nodes: opts.Nodes, Multicast: true, UpdateMode: w.UpdateMode, Fault: fault})
 	if opts.Trace != nil {
 		m.SetTracer(opts.Trace.Tracer())
 	}

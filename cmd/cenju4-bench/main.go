@@ -15,12 +15,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log"
 	"os"
 	"runtime"
 	"strings"
 	"time"
 
 	"cenju4/internal/experiments"
+	"cenju4/internal/faults"
 	"cenju4/internal/metrics"
 	"cenju4/internal/trace"
 )
@@ -33,6 +35,7 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiments to run (default: all)")
 	seed := flag.Int64("seed", 0, "Monte-Carlo seed for Figure 4 (0 = preset default)")
 	ablSeed := flag.Int64("ablation-seed", 7, "sharer-placement seed for the imprecision ablation")
+	fault := flag.String("fault", "", "deterministic fault plan for the application runs: preset name or k=v spec (recoverable plans only)")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "worker goroutines for independent simulation runs (1 = sequential; output is byte-identical at every setting)")
 	metricsOut := flag.String("metrics-out", "", "write the merged metrics registry of all machine runs as canonical JSON to this file")
 	traceOut := flag.String("trace-out", "", "write a Chrome-trace-event (Perfetto-loadable) JSON file covering all machine runs")
@@ -55,6 +58,17 @@ func main() {
 		cfg.Seed = *seed
 	}
 	cfg.Parallel = *parallel
+	if *fault != "" {
+		spec, err := faults.ParseSpec(*fault)
+		if err != nil {
+			log.Fatal(err)
+		}
+		spec = spec.Normalize()
+		if err := spec.Validate(); err != nil {
+			log.Fatal(err)
+		}
+		cfg.Fault = spec
+	}
 	if *metricsOut != "" || *traceOut != "" {
 		ob := &experiments.Observation{}
 		if *traceOut != "" {

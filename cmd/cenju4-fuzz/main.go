@@ -25,6 +25,7 @@ import (
 	"strings"
 
 	"cenju4/internal/core"
+	"cenju4/internal/faults"
 	"cenju4/internal/fuzz"
 	"cenju4/internal/metrics"
 	"cenju4/internal/topology"
@@ -48,6 +49,8 @@ func main() {
 	replay := flag.Uint64("replay", 0, "re-run the one case with this per-case seed, protocol trace attached")
 	quiet := flag.Bool("q", false, "suppress per-case progress lines")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "concurrent fuzz cases (1 = sequential; report and progress output are byte-identical at every setting)")
+	fault := flag.String("fault", "", "deterministic fault plan for every case: preset name or k=v spec (see cenju4-chaos for plan-grid sweeps)")
+	budget := flag.Uint64("budget", 0, "per-case event budget (0 = unlimited; set one when -fault may wedge nack-mode cases)")
 	metricsOut := flag.String("metrics-out", "", "write the merged metrics registry of all cases as canonical JSON to this file")
 	traceOut := flag.String("trace-out", "", "write the replayed case's Chrome-trace-event JSON to this file (requires -replay)")
 	flag.Parse()
@@ -64,7 +67,19 @@ func main() {
 		Shrink:         !*noShrink,
 		MaxShrinkRuns:  *shrinkRuns,
 		Parallel:       *parallel,
+		MaxEvents:      *budget,
 		CollectMetrics: *metricsOut != "",
+	}
+	if *fault != "" {
+		spec, err := faults.ParseSpec(*fault)
+		if err != nil {
+			log.Fatal(err)
+		}
+		spec = spec.Normalize()
+		if err := spec.Validate(); err != nil {
+			log.Fatal(err)
+		}
+		opts.Fault = spec
 	}
 	if !*quiet {
 		opts.Progress = os.Stderr

@@ -10,7 +10,12 @@
 //
 //	cenju4-load -addr http://127.0.0.1:8944 [-clients n] [-requests n]
 //	            [-duration d] [-dup f] [-seed n] [-app cg] [-variant dsm2]
-//	            [-nodes n] [-min-hit-rate f] [-json]
+//	            [-nodes n] [-fault plan] [-retries n] [-min-hit-rate f] [-json]
+//
+// With -retries set, shed responses (429 queue-full, 503 unavailable)
+// are retried with seeded-jitter exponential backoff, never sooner
+// than the server's Retry-After header; retry counts appear in the
+// report.
 //
 // Exit status is nonzero if any identity check fails, any request
 // errors, or the hit rate falls below -min-hit-rate (when set).
@@ -41,6 +46,8 @@ func main() {
 	iters := flag.Int("iters", 1, "base workload iterations")
 	scale := flag.Float64("scale", 0.02, "base workload problem scale")
 	sharedSpecs := flag.Int("shared-specs", 4, "number of distinct popular specs")
+	fault := flag.String("fault", "", "fault plan field of the base spec (preset name or k=v; recoverable plans only)")
+	retries := flag.Int("retries", 0, "retry shed responses (429/503) up to this many times, backing off with seeded jitter and honoring Retry-After")
 	minHitRate := flag.Float64("min-hit-rate", -1, "fail if the hit rate is below this (-1 = no assertion)")
 	jsonOut := flag.Bool("json", false, "emit the report as JSON instead of text")
 	flag.Parse()
@@ -56,9 +63,10 @@ func main() {
 		DupRatio:    *dup,
 		Seed:        *seed,
 		SharedSpecs: *sharedSpecs,
+		MaxRetries:  *retries,
 		Spec: serve.Spec{
 			App: *app, Variant: *variant, Nodes: *nodes,
-			Iterations: *iters, Scale: *scale,
+			Iterations: *iters, Scale: *scale, Fault: *fault,
 		},
 	})
 	if err != nil {

@@ -34,6 +34,7 @@ func main() {
 	scale := flag.Float64("scale", 0.25, "problem scale (1.0 = NPB Class A)")
 	iters := flag.Int("iters", 2, "outer iterations")
 	seed := flag.Int64("seed", 0, "run label recorded in observability output (simulation is deterministic)")
+	fault := flag.String("fault", "", "deterministic fault plan: preset name or k=v spec (recoverable plans only; see cenju4-chaos for the grid)")
 	metricsOut := flag.String("metrics-out", "", "write the metrics registry as canonical JSON to this file")
 	traceOut := flag.String("trace-out", "", "write a Chrome-trace-event (Perfetto-loadable) JSON file")
 	traceMax := flag.Int("trace-max", 1<<20, "trace event capacity; excess events are counted and surfaced")
@@ -43,6 +44,7 @@ func main() {
 		Nodes:      *nodes,
 		Iterations: *iters,
 		Scale:      *scale,
+		Fault:      *fault,
 	}
 	mapped := !*nomap
 	opts.DataMapping = &mapped

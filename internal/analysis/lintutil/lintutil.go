@@ -217,6 +217,11 @@ var SimPackages = map[string]bool{
 	"cenju4/internal/network":   true,
 	"cenju4/internal/directory": true,
 	"cenju4/internal/npb":       true,
+	// Fault injection must be exactly as deterministic as the traffic
+	// it perturbs: every drop/dup/delay/corrupt decision derives from
+	// the (plan, seed, message) alone, so a chaos run replays
+	// byte-identically at any -parallel level.
+	"cenju4/internal/faults": true,
 	// Observability must be as deterministic as the simulation it
 	// reports on: metric reports and trace exports are byte-compared
 	// across runs and across -parallel settings.

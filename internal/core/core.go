@@ -113,6 +113,22 @@ type Config struct {
 	// differential proves it — so this exists only for that proof and
 	// for memory-cost comparisons.
 	DenseDirectory bool
+	// RequestTimeout arms the master's per-request retransmit timer:
+	// a transaction whose reply has not arrived after
+	// RequestTimeout << resends is re-sent (the home replays requests
+	// idempotently; stale replies are discarded by sequence stamp).
+	// Zero disables the recovery machinery entirely — the fault-free
+	// configuration, with no timer events and no stamp checks.
+	RequestTimeout sim.Time
+	// RetransmitLimit bounds retransmit attempts per transaction when
+	// RequestTimeout is armed (default 7). An exhausted transaction
+	// stays stuck and surfaces in the machine watchdog's diagnosis.
+	RetransmitLimit int
+	// QueueCapOverride replaces the paper-sized capacity of the home's
+	// memory-resident request and overflow queues (boundary tests
+	// exercise exactly-full and full+1; 0 keeps
+	// memory.RequestQueueCapacity(Nodes)).
+	QueueCapOverride int
 }
 
 func (c Config) withDefaults() Config {
@@ -128,7 +144,26 @@ func (c Config) withDefaults() Config {
 	if c.SinglecastThreshold == 0 {
 		c.SinglecastThreshold = 1
 	}
+	if c.RequestTimeout > 0 && c.RetransmitLimit == 0 {
+		c.RetransmitLimit = 7
+	}
 	return c
+}
+
+// RecoveryStats counts the fault-recovery machinery's activity. It is
+// deliberately not part of Stats: machine digests serialize Stats
+// field by field, and recovery counters are always zero in fault-free
+// runs, so keeping them separate preserves every committed golden.
+type RecoveryStats struct {
+	// Retransmits counts timed-out requests re-sent to the home.
+	Retransmits uint64
+	// StaleReplies counts replies discarded by the sequence-stamp
+	// check: duplicates, or replies to attempts already superseded.
+	StaleReplies uint64
+	// Exhausted counts transactions abandoned after RetransmitLimit
+	// resends; each one leaves a permanently stuck MSHR slot that the
+	// machine watchdog reports.
+	Exhausted uint64
 }
 
 // Stats aggregates one controller's protocol activity.
@@ -184,6 +219,7 @@ type Controller struct {
 	trace Tracer
 	vals  *ValueTracker
 	stats Stats
+	rec   RecoveryStats
 
 	// sendFree recycles sendEvent records (the argument objects of the
 	// static send callback), so routing a message schedules no closure
@@ -273,6 +309,10 @@ func (c *Controller) Stats() Stats {
 	return s
 }
 
+// Recovery returns a snapshot of the fault-recovery counters (all zero
+// unless Config.RequestTimeout armed the machinery).
+func (c *Controller) Recovery() RecoveryStats { return c.rec }
+
 // MetricsInto aggregates this controller's activity into reg under the
 // "core/" prefix. Counters add across nodes; the memory-resident FIFO
 // watermarks (request queue, home/slave overflow) and retry/latency
@@ -305,6 +345,14 @@ func (c *Controller) MetricsInto(reg *metrics.Registry) {
 	reg.Gauge("core/fifo/" + c.home.queue.Name()).Peak(int64(c.home.queue.HighWater()))
 	reg.Gauge("core/fifo/" + c.home.overflow.Name()).Peak(int64(c.home.overflow.HighWater()))
 	reg.Gauge("core/fifo/" + c.slave.overflow.Name()).Peak(int64(c.slave.overflow.HighWater()))
+	// Recovery counters appear only when the machinery is armed, so
+	// fault-free metric renderings are byte-identical to pre-fault
+	// builds.
+	if c.cfg.RequestTimeout > 0 {
+		reg.Counter("core/recovery/retransmits").Add(c.rec.Retransmits)
+		reg.Counter("core/recovery/stale-replies").Add(c.rec.StaleReplies)
+		reg.Counter("core/recovery/exhausted").Add(c.rec.Exhausted)
+	}
 }
 
 // Deliver is the network handler: it routes an incoming message to the

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"slices"
+
+	"cenju4/internal/topology"
+)
+
+// DiagnoseInto writes this controller's stuck-state report: everything
+// a deadlock investigation needs to see per node, rendered only for
+// nodes that are actually holding work. The machine watchdog calls it
+// at quiescence-with-unfinished-programs; the output is deterministic
+// (pending blocks sorted by address) so watchdog reports diff cleanly
+// across runs.
+//
+// It returns true when the controller holds any in-flight work — a
+// false return prints nothing.
+func (c *Controller) DiagnoseInto(w io.Writer) bool {
+	busy := c.master.outstanding > 0 ||
+		len(c.master.deferred)-c.master.defHead > 0 ||
+		c.home.queue.Len() > 0 || c.home.overflow.Len() > 0 ||
+		len(c.home.pending) > 0 || c.slave.backlog > 0
+	if !busy {
+		return false
+	}
+	fmt.Fprintf(w, "node %d:\n", c.cfg.Node)
+	m := &c.master
+	for i := range m.slots {
+		s := &m.slots[i]
+		if !s.active {
+			continue
+		}
+		state := "awaiting reply"
+		switch {
+		case s.settled:
+			state = "completing"
+		case c.cfg.RequestTimeout > 0 && s.resends >= c.cfg.RetransmitLimit:
+			state = "retransmits exhausted"
+		}
+		fmt.Fprintf(w, "  mshr[%d]: %v %v seq=%d issued=%dns resends=%d (%s)\n",
+			i, s.kind, s.addr, s.seq, s.issuedAt, s.resends, state)
+	}
+	if d := len(m.deferred) - m.defHead; d > 0 {
+		fmt.Fprintf(w, "  master: %d deferred requests waiting for a free mshr\n", d)
+	}
+	h := &c.home
+	if h.queue.Len() > 0 {
+		fmt.Fprintf(w, "  home request FIFO: depth %d (high water %d, cap %d)\n",
+			h.queue.Len(), h.queue.HighWater(), h.queue.Cap())
+	}
+	if h.overflow.Len() > 0 {
+		fmt.Fprintf(w, "  home outbound overflow: depth %d (high water %d)\n",
+			h.overflow.Len(), h.overflow.HighWater())
+	}
+	if len(h.pending) > 0 {
+		addrs := make([]topology.Addr, 0, len(h.pending))
+		for a := range h.pending { //cenju4:order-insensitive — keys are sorted below
+			addrs = append(addrs, a)
+		}
+		slices.Sort(addrs)
+		for _, a := range addrs {
+			t := h.pending[a]
+			fmt.Fprintf(w, "  pending %v: %v for master %d seq=%d acksLeft=%d\n",
+				a, t.kind, t.master, t.seq, t.acksLeft)
+		}
+	}
+	if c.slave.backlog > 0 {
+		fmt.Fprintf(w, "  slave backlog: %d (overflow depth %d, high water %d)\n",
+			c.slave.backlog, c.slave.overflow.Len(), c.slave.overflow.HighWater())
+	}
+	if c.rec != (RecoveryStats{}) {
+		fmt.Fprintf(w, "  recovery: retransmits=%d stale-replies=%d exhausted=%d\n",
+			c.rec.Retransmits, c.rec.StaleReplies, c.rec.Exhausted)
+	}
+	return true
+}

@@ -19,6 +19,9 @@ type queuedReq struct {
 	master topology.NodeID
 	addr   topology.Addr
 	val    uint64
+	// seq is the requesting attempt's sequence stamp, echoed into the
+	// eventual reply so the master can match (or discard) it.
+	seq uint32
 }
 
 // txn is the home's context for a pending block: who the transaction is
@@ -27,8 +30,9 @@ type queuedReq struct {
 type txn struct {
 	kind     msg.Kind // original request kind
 	master   topology.NodeID
-	acksLeft int  // outstanding singlecast invalidation acks
-	next     *txn // home free list
+	seq      uint32 // request's sequence stamp, echoed in the reply
+	acksLeft int    // outstanding singlecast invalidation acks
+	next     *txn   // home free list
 }
 
 // homeModule owns the directory for locally-homed blocks.
@@ -47,7 +51,7 @@ type homeModule struct {
 // newTxn takes a transaction record from the free list (or seeds it).
 //
 //cenju4:hotpath
-func (h *homeModule) newTxn(kind msg.Kind, master topology.NodeID) *txn {
+func (h *homeModule) newTxn(kind msg.Kind, master topology.NodeID, seq uint32) *txn {
 	t := h.txnFree
 	if t == nil {
 		//cenju4:alloc-ok pool seeding: records recycle on completion, so the pool settles at the pending-block peak
@@ -57,6 +61,7 @@ func (h *homeModule) newTxn(kind msg.Kind, master topology.NodeID) *txn {
 	}
 	t.kind = kind
 	t.master = master
+	t.seq = seq
 	t.acksLeft = 0
 	t.next = nil
 	return t
@@ -71,6 +76,18 @@ func (h *homeModule) freeTxn(t *txn) {
 func (h *homeModule) init(c *Controller) {
 	h.c = c
 	cap := memory.RequestQueueCapacity(c.cfg.Nodes)
+	if c.cfg.RequestTimeout > 0 {
+		// With recovery armed, a master whose transaction is wedged
+		// behind a pending block retransmits into this queue: each of
+		// its bounded retransmits can add one more copy of an entry the
+		// paper's sizing argument counts once. The bound extends by the
+		// retransmit limit, so the no-drop guarantee holds under fault
+		// injection too.
+		cap *= 1 + c.cfg.RetransmitLimit
+	}
+	if c.cfg.QueueCapOverride > 0 {
+		cap = c.cfg.QueueCapOverride
+	}
 	h.queue = memory.NewQueue[queuedReq]("home-requests", cap, memory.RequestQueueBits)
 	h.overflow = memory.NewQueue[topology.Addr]("home-out-overflow", cap, memory.OverflowQueueBits)
 	h.pending = make(map[topology.Addr]*txn)
@@ -95,7 +112,7 @@ func (h *homeModule) handle(m *msg.Message) {
 	switch m.Kind {
 	case msg.ReadShared, msg.ReadExclusive, msg.Ownership, msg.UpdateWrite:
 		c.stats.HomeRequests++
-		elapsed += h.processRequest(m.Kind, m.Master, m.Addr, m.Val, elapsed)
+		elapsed += h.processRequest(m.Kind, m.Master, m.Addr, m.Val, m.Seq, elapsed)
 	case msg.WriteBack:
 		elapsed += h.processWriteBack(m)
 	case msg.SlaveData, msg.SlaveAck:
@@ -111,7 +128,7 @@ func (h *homeModule) handle(m *msg.Message) {
 // processRequest runs the appendix request sequences. sofar is the cost
 // already accumulated for this service (outbound sends depart after the
 // full service time). It returns the additional processing cost.
-func (h *homeModule) processRequest(kind msg.Kind, master topology.NodeID, addr topology.Addr, val uint64, sofar sim.Time) sim.Time {
+func (h *homeModule) processRequest(kind msg.Kind, master topology.NodeID, addr topology.Addr, val uint64, seq uint32, sofar sim.Time) sim.Time {
 	c := h.c
 	p := c.cfg.Params
 	e := c.mem.Entry(addr)
@@ -119,7 +136,7 @@ func (h *homeModule) processRequest(kind msg.Kind, master topology.NodeID, addr 
 
 	if e.State().Pending() {
 		if c.cfg.Mode == ModeNack {
-			h.reply(master, c.newMsg(msg.Message{Kind: msg.Nack, OrigKind: kind, Addr: addr, Master: master}), sofar+cost)
+			h.reply(master, c.newMsg(msg.Message{Kind: msg.Nack, OrigKind: kind, Addr: addr, Master: master, Seq: seq}), sofar+cost)
 			return cost
 		}
 		// Queuing protocol: an ownership request against a pending block
@@ -129,7 +146,7 @@ func (h *homeModule) processRequest(kind msg.Kind, master topology.NodeID, addr 
 			kind = msg.ReadExclusive
 		}
 		wasEmpty := h.queue.Empty()
-		h.queue.Push(queuedReq{kind, master, addr, val})
+		h.queue.Push(queuedReq{kind, master, addr, val, seq})
 		c.stats.QueuedRequests++
 		if wasEmpty && !(c.cfg.Faults != nil && c.cfg.Faults.SkipReservation) {
 			// The new request is at the top of the queue: mark its block.
@@ -137,12 +154,12 @@ func (h *homeModule) processRequest(kind msg.Kind, master topology.NodeID, addr 
 		}
 		return cost + p.QueueOp
 	}
-	return cost + h.processStable(kind, master, addr, val, e, sofar+cost)
+	return cost + h.processStable(kind, master, addr, val, seq, e, sofar+cost)
 }
 
 // processStable handles a request against a stable (clean or dirty)
 // block, per the appendix. It may leave the block pending.
-func (h *homeModule) processStable(kind msg.Kind, master topology.NodeID, addr topology.Addr, val uint64, e *directory.Entry, sofar sim.Time) sim.Time {
+func (h *homeModule) processStable(kind msg.Kind, master topology.NodeID, addr topology.Addr, val uint64, seq uint32, e *directory.Entry, sofar sim.Time) sim.Time {
 	c := h.c
 	p := c.cfg.Params
 	switch kind {
@@ -151,7 +168,7 @@ func (h *homeModule) processStable(kind msg.Kind, master topology.NodeID, addr t
 		// new data to every node's third-level cache and gather the
 		// acknowledgements.
 		e.SetState(directory.PendingUpdate)
-		t := h.newTxn(kind, master)
+		t := h.newTxn(kind, master, seq)
 		h.pending[addr] = t
 		h.overflow.Push(addr)
 		if c.vals != nil {
@@ -195,19 +212,19 @@ func (h *homeModule) processStable(kind msg.Kind, master topology.NodeID, addr t
 			// invariant).
 			e.SetState(directory.Dirty)
 			e.MapSetOnly(master)
-			h.reply(master, c.newMsg(msg.Message{Kind: msg.HomeData, Addr: addr, Master: master, HasData: true, Excl: true, Val: h.memVal(addr)}), sofar+p.MemAccess)
+			h.reply(master, c.newMsg(msg.Message{Kind: msg.HomeData, Addr: addr, Master: master, HasData: true, Excl: true, Val: h.memVal(addr), Seq: seq}), sofar+p.MemAccess)
 			return p.MemAccess
 		case e.State() == directory.Clean ||
 			(c.cfg.Faults != nil && c.cfg.Faults.StaleDirtyRead):
 			// Injected fault: a dirty block is served from (stale) memory
 			// without forwarding to the owner.
 			e.MapAdd(master)
-			h.reply(master, c.newMsg(msg.Message{Kind: msg.HomeData, Addr: addr, Master: master, HasData: true, Val: h.memVal(addr)}), sofar+p.MemAccess)
+			h.reply(master, c.newMsg(msg.Message{Kind: msg.HomeData, Addr: addr, Master: master, HasData: true, Val: h.memVal(addr), Seq: seq}), sofar+p.MemAccess)
 			return p.MemAccess
 		default: // Dirty at another node: forward to the slave.
 			slave := h.dirtyOwner(e)
 			e.SetState(directory.PendingShared)
-			h.pending[addr] = h.newTxn(kind, master)
+			h.pending[addr] = h.newTxn(kind, master, seq)
 			h.forward(slave, msg.FwdReadShared, addr, master, sofar)
 			return 0
 		}
@@ -219,10 +236,10 @@ func (h *homeModule) processStable(kind msg.Kind, master topology.NodeID, addr t
 			e.MapSetOnly(master)
 			if kind == msg.Ownership {
 				// Sole sharer upgrading: no data transfer needed.
-				h.reply(master, c.newMsg(msg.Message{Kind: msg.HomeAck, Addr: addr, Master: master}), sofar)
+				h.reply(master, c.newMsg(msg.Message{Kind: msg.HomeAck, Addr: addr, Master: master, Seq: seq}), sofar)
 				return 0
 			}
-			h.reply(master, c.newMsg(msg.Message{Kind: msg.HomeData, Addr: addr, Master: master, HasData: true, Excl: true, Val: h.memVal(addr)}), sofar+p.MemAccess)
+			h.reply(master, c.newMsg(msg.Message{Kind: msg.HomeData, Addr: addr, Master: master, HasData: true, Excl: true, Val: h.memVal(addr), Seq: seq}), sofar+p.MemAccess)
 			return p.MemAccess
 		case e.State() == directory.Clean:
 			// Other nodes registered: invalidate them all.
@@ -231,7 +248,7 @@ func (h *homeModule) processStable(kind msg.Kind, master topology.NodeID, addr t
 			} else {
 				e.SetState(directory.PendingExclusive)
 			}
-			t := h.newTxn(kind, master)
+			t := h.newTxn(kind, master, seq)
 			h.pending[addr] = t
 			h.invalidate(e.Dest(), addr, master, t, sofar)
 			return 0
@@ -240,7 +257,7 @@ func (h *homeModule) processStable(kind msg.Kind, master topology.NodeID, addr t
 			e.SetState(directory.PendingExclusive)
 			// An ownership request that races with a steal of the line is
 			// served as a read-exclusive: the master's copy is stale.
-			h.pending[addr] = h.newTxn(msg.ReadExclusive, master)
+			h.pending[addr] = h.newTxn(msg.ReadExclusive, master, seq)
 			h.forward(slave, msg.FwdReadExclusive, addr, master, sofar)
 			return 0
 		}
@@ -361,11 +378,11 @@ func (h *homeModule) processSlaveReply(m *msg.Message, sofar sim.Time) sim.Time 
 	case directory.PendingShared:
 		e.SetState(directory.Clean)
 		e.MapAdd(t.master)
-		h.reply(t.master, c.newMsg(msg.Message{Kind: msg.HomeData, Addr: m.Addr, Master: t.master, HasData: true, Val: h.memVal(m.Addr)}), sofar+cost)
+		h.reply(t.master, c.newMsg(msg.Message{Kind: msg.HomeData, Addr: m.Addr, Master: t.master, HasData: true, Val: h.memVal(m.Addr), Seq: t.seq}), sofar+cost)
 	case directory.PendingExclusive:
 		e.SetState(directory.Dirty)
 		e.MapSetOnly(t.master)
-		h.reply(t.master, c.newMsg(msg.Message{Kind: msg.HomeData, Addr: m.Addr, Master: t.master, HasData: true, Excl: true, Val: h.memVal(m.Addr)}), sofar+cost)
+		h.reply(t.master, c.newMsg(msg.Message{Kind: msg.HomeData, Addr: m.Addr, Master: t.master, HasData: true, Excl: true, Val: h.memVal(m.Addr), Seq: t.seq}), sofar+cost)
 	default:
 		panic(fmt.Sprintf("core: slave reply in state %v", e.State()))
 	}
@@ -400,18 +417,18 @@ func (h *homeModule) processInvAck(m *msg.Message, sofar sim.Time) sim.Time {
 		// node map is untouched (the update protocol does not track
 		// sharers — every node holds the data).
 		e.SetState(directory.Clean)
-		h.reply(t.master, c.newMsg(msg.Message{Kind: msg.HomeAck, Addr: m.Addr, Master: t.master}), sofar+cost)
+		h.reply(t.master, c.newMsg(msg.Message{Kind: msg.HomeAck, Addr: m.Addr, Master: t.master, Seq: t.seq}), sofar+cost)
 	case msg.Ownership:
 		e.SetState(directory.Dirty)
 		e.MapSetOnly(t.master)
-		h.reply(t.master, c.newMsg(msg.Message{Kind: msg.HomeAck, Addr: m.Addr, Master: t.master}), sofar+cost)
+		h.reply(t.master, c.newMsg(msg.Message{Kind: msg.HomeAck, Addr: m.Addr, Master: t.master, Seq: t.seq}), sofar+cost)
 	case msg.ReadExclusive:
 		// Send the block (a pending ownership that raced with a steal
 		// was already downgraded to read-exclusive when queued).
 		e.SetState(directory.Dirty)
 		e.MapSetOnly(t.master)
 		cost += p.MemAccess
-		h.reply(t.master, c.newMsg(msg.Message{Kind: msg.HomeData, Addr: m.Addr, Master: t.master, HasData: true, Excl: true, Val: h.memVal(m.Addr)}), sofar+cost)
+		h.reply(t.master, c.newMsg(msg.Message{Kind: msg.HomeData, Addr: m.Addr, Master: t.master, HasData: true, Excl: true, Val: h.memVal(m.Addr), Seq: t.seq}), sofar+cost)
 	default:
 		panic(fmt.Sprintf("core: invalidation transaction completed for %v", t.kind))
 	}
@@ -452,7 +469,7 @@ func (h *homeModule) drainQueue(sofar sim.Time) sim.Time {
 		}
 		h.queue.Pop()
 		base := sofar + added + p.QueueOp + p.DirAccess
-		extra := h.processStable(req.kind, req.master, req.addr, req.val, e, base)
+		extra := h.processStable(req.kind, req.master, req.addr, req.val, req.seq, e, base)
 		added += p.QueueOp + p.DirAccess + extra
 	}
 }

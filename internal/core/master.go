@@ -30,6 +30,19 @@ type mshr struct {
 	retries   int
 	installL3 bool   // update protocol: record the block in the local L3
 	tag       uint64 // update protocol: value tag assigned at issue
+
+	// Fault-recovery state (inert unless Config.RequestTimeout is set).
+	// seq is the transaction's sequence stamp: carried on every attempt
+	// and echoed by the home, so replies to transactions this slot no
+	// longer holds are recognized and dropped. settled latches "a reply
+	// was accepted and the completion (or nack retry) is in flight" —
+	// the window in which a duplicated reply must be discarded, not
+	// double-processed. timer is the armed retransmit timeout; resends
+	// counts timeout-driven re-sends.
+	seq     uint32
+	resends int
+	settled bool
+	timer   *sim.Event
 }
 
 type deferredReq struct {
@@ -58,6 +71,9 @@ type masterModule struct {
 	// lat tracks per-request-kind transaction latency distributions,
 	// indexed by msg.Kind (allocated lazily per kind actually seen).
 	lat [msg.NumKinds]*stats.Histogram
+
+	// seqCtr issues transaction sequence stamps (see mshr.seq).
+	seqCtr uint32
 }
 
 func (m *masterModule) init(c *Controller) {
@@ -104,6 +120,11 @@ func (m *masterModule) alloc(addr topology.Addr, store bool, kind msg.Kind, done
 			s.retries = 0
 			s.installL3 = false
 			s.tag = 0
+			m.seqCtr++
+			s.seq = m.seqCtr
+			s.resends = 0
+			s.settled = false
+			s.timer = nil // released slots never leave a live timer behind
 			m.outstanding++
 			return s
 		}
@@ -229,6 +250,7 @@ func (m *masterModule) issueUpdate(addr topology.Addr, store bool, done func()) 
 //cenju4:hotpath
 func (m *masterModule) sendRequest(slot *mshr, kind msg.Kind) {
 	c := m.c
+	slot.settled = false // each attempt reopens the reply window
 	c.send(c.newMsg(msg.Message{
 		Kind:     kind,
 		OrigKind: kind,
@@ -238,7 +260,55 @@ func (m *masterModule) sendRequest(slot *mshr, kind msg.Kind) {
 		Master:   c.cfg.Node,
 		HasData:  kind == msg.UpdateWrite,
 		Val:      slot.tag, // update write-through: the tagged store value
+		Seq:      slot.seq,
 	}), c.cfg.Params.ProcOverhead)
+	m.armTimer(slot)
+}
+
+// armTimer schedules (or re-schedules) the retransmit timeout for the
+// attempt just sent: RequestTimeout with exponential backoff per
+// resend. A no-op in fault-free configurations.
+func (m *masterModule) armTimer(slot *mshr) {
+	c := m.c
+	if c.cfg.RequestTimeout == 0 {
+		return
+	}
+	if slot.timer != nil {
+		c.eng.Cancel(slot.timer)
+	}
+	d := c.cfg.RequestTimeout << uint(slot.resends)
+	slot.timer = c.eng.AtCall(c.eng.Now()+d, masterTimeout, slot)
+}
+
+// disarmTimer cancels a pending retransmit timeout; called the moment a
+// reply is accepted, before the slot can be released or retried.
+func (m *masterModule) disarmTimer(slot *mshr) {
+	if slot.timer != nil {
+		m.c.eng.Cancel(slot.timer)
+		slot.timer = nil
+	}
+}
+
+// masterTimeout is the static retransmit callback: the reply window
+// for the current attempt expired, so re-send the request (the home
+// replays idempotently) or, past the retransmit limit, abandon the
+// transaction — the slot stays stuck and the machine watchdog reports
+// it at quiescence.
+func masterTimeout(a any) {
+	s := a.(*mshr)
+	s.timer = nil // the engine recycles fired event records immediately
+	if !s.active || s.settled {
+		return
+	}
+	m := s.owner
+	c := m.c
+	if s.resends >= c.cfg.RetransmitLimit {
+		c.rec.Exhausted++
+		return
+	}
+	s.resends++
+	c.rec.Retransmits++
+	m.retry(s)
 }
 
 // writeback emits a writeback for an evicted modified block. Writebacks
@@ -282,7 +352,15 @@ func masterComplete(a any) {
 func (m *masterModule) handle(rm *msg.Message) {
 	c := m.c
 	slot := m.lookup(rm.Addr)
-	if slot == nil {
+	if c.cfg.RequestTimeout > 0 {
+		// Recovery armed: a reply with no live matching attempt is a
+		// duplicate or a leftover of a retransmitted loss — expected
+		// under fault injection, discarded by stamp.
+		if slot == nil || slot.settled || rm.Seq != slot.seq {
+			c.rec.StaleReplies++
+			return
+		}
+	} else if slot == nil {
 		panic(fmt.Sprintf("core: %v reply %v with no outstanding transaction", c.cfg.Node, rm))
 	}
 	var cost sim.Time
@@ -356,12 +434,16 @@ func (m *masterModule) handle(rm *msg.Message) {
 			c.stats.MaxRetries = slot.retries
 		}
 		c.stats.Retries++
+		slot.settled = true // absorb duplicate nacks until the retry re-sends
+		m.disarmTimer(slot)
 		c.eng.AtCall(c.eng.Now()+cost+c.cfg.NackDelay, masterRetry, slot)
 		return
 	default:
 		panic(fmt.Sprintf("core: master received %v", rm))
 	}
 	c.stats.Replies++
+	slot.settled = true // absorb duplicate replies while completion is in flight
+	m.disarmTimer(slot)
 	c.eng.AtCall(c.eng.Now()+cost, masterComplete, slot)
 }
 

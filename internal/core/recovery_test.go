@@ -1,0 +1,189 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"cenju4/internal/faults"
+	"cenju4/internal/network"
+	"cenju4/internal/sim"
+	"cenju4/internal/topology"
+)
+
+// newFaultyCluster wires N controllers over a network with a compiled
+// fault plan, with the master recovery machinery armed from the plan.
+func newFaultyCluster(t testing.TB, nodes int, spec faults.Spec, opts ...clusterOpt) (*cluster, *faults.Injector) {
+	t.Helper()
+	spec = spec.Normalize()
+	inj := spec.Compile(nodes)
+	cl := &cluster{eng: sim.NewEngine()}
+	cl.net = network.New(cl.eng, network.Config{Nodes: nodes, Multicast: true, Injector: inj})
+	cl.ctrls = make([]*Controller, nodes)
+	for i := 0; i < nodes; i++ {
+		cfg := Config{
+			Node:            topology.NodeID(i),
+			Nodes:           nodes,
+			RequestTimeout:  spec.Timeout,
+			RetransmitLimit: spec.Retries,
+		}
+		for _, o := range opts {
+			o(&cfg)
+		}
+		cl.ctrls[i] = New(cl.eng, cl.net, cfg)
+		cl.net.Attach(topology.NodeID(i), cl.ctrls[i].Deliver)
+	}
+	return cl, inj
+}
+
+// churn drives a deterministic mix of loads and stores from every node
+// across a few blocks, one access at a time, and fails the test if any
+// access never completes.
+func churn(t *testing.T, cl *cluster, rounds int) {
+	t.Helper()
+	nodes := len(cl.ctrls)
+	for r := 0; r < rounds; r++ {
+		node := topology.NodeID(r % nodes)
+		home := topology.NodeID((r / 2) % nodes)
+		addr := blockAt(home, uint64(r%3))
+		cl.access(t, node, addr, r%3 == 0)
+	}
+}
+
+func recoveryTotals(cl *cluster) RecoveryStats {
+	var tot RecoveryStats
+	for _, c := range cl.ctrls {
+		r := c.Recovery()
+		tot.Retransmits += r.Retransmits
+		tot.StaleReplies += r.StaleReplies
+		tot.Exhausted += r.Exhausted
+	}
+	return tot
+}
+
+func TestDroppedRequestsAndRepliesAreRetransmitted(t *testing.T) {
+	cl, inj := newFaultyCluster(t, 8, faults.Spec{Seed: 11, Drop: 0.2, Timeout: 50_000})
+	churn(t, cl, 120)
+	if inj.Stats.Drops == 0 {
+		t.Fatal("plan injected no drops (placebo)")
+	}
+	rec := recoveryTotals(cl)
+	if rec.Retransmits == 0 {
+		t.Fatalf("drops injected (%d) but no retransmits recorded", inj.Stats.Drops)
+	}
+	if rec.Exhausted != 0 {
+		t.Fatalf("recoverable plan exhausted %d transactions", rec.Exhausted)
+	}
+	for _, c := range cl.ctrls {
+		if c.Outstanding() != 0 {
+			t.Fatalf("node %v finished with %d outstanding transactions", c.Node(), c.Outstanding())
+		}
+		if c.PendingBlocks() != 0 {
+			t.Fatalf("node %v finished with %d pending blocks", c.Node(), c.PendingBlocks())
+		}
+	}
+}
+
+func TestDuplicateRepliesAreDiscardedByStamp(t *testing.T) {
+	cl, inj := newFaultyCluster(t, 8, faults.Spec{Seed: 5, Dup: 0.5, Timeout: 500_000})
+	churn(t, cl, 120)
+	if inj.Stats.Dups == 0 {
+		t.Fatal("plan injected no duplicates (placebo)")
+	}
+	rec := recoveryTotals(cl)
+	if rec.StaleReplies == 0 {
+		t.Fatalf("%d duplicates injected but no stale replies discarded", inj.Stats.Dups)
+	}
+	for _, c := range cl.ctrls {
+		if c.Outstanding() != 0 {
+			t.Fatalf("node %v finished with %d outstanding", c.Node(), c.Outstanding())
+		}
+	}
+}
+
+func TestCorruptionBecomesDetectedLossAndRecovers(t *testing.T) {
+	cl, inj := newFaultyCluster(t, 8, faults.Spec{Seed: 9, Corrupt: 0.3, Timeout: 50_000})
+	churn(t, cl, 100)
+	if inj.Stats.Corruptions == 0 {
+		t.Fatal("plan injected no corruptions (placebo)")
+	}
+	if inj.Stats.DetectedDrops != inj.Stats.Corruptions {
+		t.Fatalf("checksum caught %d of %d corruptions", inj.Stats.DetectedDrops, inj.Stats.Corruptions)
+	}
+	if rec := recoveryTotals(cl); rec.Retransmits == 0 {
+		t.Fatal("corrupted traffic never retransmitted")
+	}
+}
+
+func TestNackModeRecoversDroppedNacks(t *testing.T) {
+	cl, inj := newFaultyCluster(t, 8, faults.Spec{Seed: 3, Drop: 0.2, Timeout: 50_000},
+		withMode(ModeNack))
+	churn(t, cl, 80)
+	if inj.Stats.Drops == 0 {
+		t.Fatal("plan injected no drops (placebo)")
+	}
+	for _, c := range cl.ctrls {
+		if c.Outstanding() != 0 {
+			t.Fatalf("node %v finished with %d outstanding", c.Node(), c.Outstanding())
+		}
+	}
+}
+
+func TestExhaustedRetransmitsLeaveDiagnosableStuckSlot(t *testing.T) {
+	// Forwards are dropped with certainty: node 2's steal of node 1's
+	// dirty block can never complete — the home's forward dies on the
+	// wire, the master's retransmits queue behind the pending block,
+	// and after the bounded retransmits the slot is permanently stuck.
+	spec := faults.Spec{Seed: 1, Drop: 1, Scope: faults.ScopeForwards, Timeout: 20_000, Retries: 2}
+	cl, inj := newFaultyCluster(t, 4, spec)
+	a := blockAt(0, 1)
+	cl.access(t, 1, a, true) // node 1: M (no forwards involved)
+
+	completed := false
+	cl.ctrls[2].Request(a, true, func() { completed = true })
+	cl.eng.Run()
+	if completed {
+		t.Fatal("access completed despite every forward being dropped")
+	}
+	if inj.Stats.Drops == 0 {
+		t.Fatal("no forwards dropped (placebo)")
+	}
+	rec := recoveryTotals(cl)
+	if rec.Exhausted != 1 {
+		t.Fatalf("Exhausted = %d, want 1", rec.Exhausted)
+	}
+	var sb strings.Builder
+	wrote := false
+	for _, c := range cl.ctrls {
+		if c.DiagnoseInto(&sb) {
+			wrote = true
+		}
+	}
+	if !wrote {
+		t.Fatal("no controller reported stuck state")
+	}
+	diag := sb.String()
+	for _, want := range []string{"retransmits exhausted", "pending ", "mshr["} {
+		if !strings.Contains(diag, want) {
+			t.Errorf("diagnosis missing %q:\n%s", want, diag)
+		}
+	}
+}
+
+func TestDiagnoseQuietOnIdleController(t *testing.T) {
+	cl := newCluster(t, 4, true)
+	cl.access(t, 1, blockAt(0, 1), false)
+	var sb strings.Builder
+	for _, c := range cl.ctrls {
+		if c.DiagnoseInto(&sb) {
+			t.Fatalf("idle controller %v reported stuck state:\n%s", c.Node(), sb.String())
+		}
+	}
+}
+
+func TestRecoveryStatsStayZeroFaultFree(t *testing.T) {
+	cl := newCluster(t, 8, true)
+	churn(t, cl, 60)
+	if rec := recoveryTotals(cl); rec != (RecoveryStats{}) {
+		t.Fatalf("fault-free run accumulated recovery stats: %+v", rec)
+	}
+}

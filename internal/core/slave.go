@@ -28,8 +28,11 @@ type slaveModule struct {
 
 func (s *slaveModule) init(c *Controller) {
 	s.c = c
-	s.overflow = memory.NewQueue[struct{}]("slave-overflow",
-		memory.RequestQueueCapacity(c.cfg.Nodes), memory.OverflowQueueBits)
+	cap := memory.RequestQueueCapacity(c.cfg.Nodes)
+	if c.cfg.QueueCapOverride > 0 {
+		cap = c.cfg.QueueCapOverride
+	}
+	s.overflow = memory.NewQueue[struct{}]("slave-overflow", cap, memory.OverflowQueueBits)
 }
 
 func (s *slaveModule) handle(m *msg.Message) {

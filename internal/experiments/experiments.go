@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"strings"
 
+	"cenju4/internal/faults"
 	"cenju4/internal/machine"
 	"cenju4/internal/metrics"
 	"cenju4/internal/runner"
@@ -44,6 +45,12 @@ type Config struct {
 	// rendered tables are byte-identical at every setting (asserted by
 	// parallel_test.go, under -race in CI).
 	Parallel int
+	// Fault is the deterministic fault plan threaded into every
+	// machine-building application run (zero = fault-free). Use
+	// recoverable plans only: the application experiments assert
+	// completion and coherence, so an unrecoverable plan trips the
+	// machine watchdog and aborts the sweep.
+	Fault faults.Spec
 	// Observe, when non-nil, collects observability output from the
 	// machine-building sweeps (the application experiments and the
 	// future-work comparison; the analytic latency/precision experiments

@@ -72,6 +72,7 @@ func FutureWork(cfg Config) FutureWorkResult {
 			Nodes:      j.nodes,
 			Multicast:  true,
 			UpdateMode: w.UpdateMode,
+			Fault:      cfg.Fault,
 		})
 		col := cfg.observePre(m)
 		r := m.Run(w.Progs)

@@ -1,0 +1,225 @@
+package faults
+
+import (
+	"cenju4/internal/metrics"
+	"cenju4/internal/msg"
+	"cenju4/internal/sim"
+	"cenju4/internal/topology"
+)
+
+// Action is the injector's verdict for one endpoint delivery.
+type Action uint8
+
+const (
+	// Pass delivers the message normally (possibly delayed).
+	Pass Action = iota
+	// DropMsg discards the message instead of delivering it.
+	DropMsg
+	// DupMsg delivers the message and a clone one tick later.
+	DupMsg
+	// CorruptMsg flips a bit in the message before delivery; the
+	// checksum check at the endpoint turns it into a detected drop.
+	CorruptMsg
+)
+
+// Stats counts what the injector actually did. All integers, merged
+// into the metrics registry by MetricsInto; chaos reports print them so
+// an "all tests pass" run with zero injected faults is visibly a
+// placebo.
+type Stats struct {
+	// Candidates is the number of in-scope, in-window deliveries that
+	// drew from the fault stream.
+	Candidates uint64
+	// Drops, Dups, Delays, Corruptions count injected faults by kind.
+	Drops       uint64
+	Dups        uint64
+	Delays      uint64
+	Corruptions uint64
+	// DetectedDrops counts corrupted messages the endpoint checksum
+	// check caught and discarded (should equal Corruptions: the
+	// checksum must never miss).
+	DetectedDrops uint64
+	// Stalls counts injected switch-stage stalls.
+	Stalls uint64
+}
+
+// Injector is a compiled fault plan, owned by one machine's network.
+// It is single-goroutine like the engine: every decision comes from
+// one splitmix64 stream advanced at deterministic points (endpoint
+// delivery scheduling, stage traversal), so the schedule is a pure
+// function of (spec, traffic) and identical at any -parallel level.
+// Never share an Injector between machines or runs.
+type Injector struct {
+	spec  Spec
+	nodes int
+
+	// band holds cumulative 52-bit fixed-point thresholds for the one
+	// banded draw per candidate: [drop, +dup, +delay, +corrupt).
+	band [4]uint64
+
+	state    uint64 // splitmix64 stream state
+	stallCtr uint64
+	injected int
+
+	// floors[src*nodes+dst] is the latest delivery time scheduled for
+	// the pair; applying max(t, floor) to every delivery preserves the
+	// hardware's per-path in-order guarantee even when a plan delays
+	// individual messages.
+	floors []sim.Time
+
+	// Stats is the injection ledger; read it after the run.
+	Stats Stats
+}
+
+// Compile builds an Injector for a machine with the given node count.
+// The spec is normalized first. Compile returns nil when the plan
+// injects nothing, so callers can thread the result straight into
+// network.Config.Injector.
+func (s Spec) Compile(nodes int) *Injector {
+	s = s.Normalize()
+	if !s.Injecting() {
+		return nil
+	}
+	const fracBits = 52
+	cum := 0.0
+	in := &Injector{spec: s, nodes: nodes, state: s.Seed, floors: make([]sim.Time, nodes*nodes)}
+	for i, p := range [4]float64{s.Drop, s.Dup, s.Delay, s.Corrupt} {
+		cum += p
+		in.band[i] = uint64(cum * (1 << fracBits))
+	}
+	return in
+}
+
+// Spec returns the normalized plan this injector was compiled from.
+func (in *Injector) Spec() Spec { return in.spec }
+
+// splitmix64 output function.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// draw advances the decision stream and returns 52 uniform bits.
+func (in *Injector) draw() uint64 {
+	in.state += 0x9e3779b97f4a7c15
+	return mix64(in.state) >> 12
+}
+
+// active reports whether virtual time t is inside the plan's window.
+func (in *Injector) active(t sim.Time) bool {
+	return t >= in.spec.From && (in.spec.Until == 0 || t < in.spec.Until)
+}
+
+// spend consumes one unit of the MaxFaults budget; false means the
+// budget is exhausted and the fault must not be injected.
+func (in *Injector) spend() bool {
+	if in.spec.MaxFaults > 0 && in.injected >= in.spec.MaxFaults {
+		return false
+	}
+	in.injected++
+	return true
+}
+
+// inScope reports whether the plan may fault messages of kind k.
+func (in *Injector) inScope(k msg.Kind) bool {
+	switch in.spec.Scope {
+	case ScopeRequestReply:
+		return k == msg.ReadShared || k == msg.ReadExclusive || k == msg.Ownership ||
+			k == msg.UpdateWrite || k.ToMaster()
+	case ScopeForwards:
+		return k.ToSlave()
+	case ScopeRepliesToHome:
+		return k == msg.SlaveData || k == msg.SlaveAck || k == msg.InvAck || k == msg.UpdateAck
+	case ScopeAll:
+		return k != msg.WriteBack
+	}
+	return false
+}
+
+// Arrival decides the fate of one endpoint delivery of kind k from src
+// to dst, nominally scheduled at t. It returns the action and the
+// (possibly delayed, always pair-ordered) delivery time. Messages
+// carrying gather state (gatherable) are exempt from loss faults —
+// dropping one would leak its pooled group record and break the
+// combining tree — but still pass through the ordering floor.
+//
+// Arrival is on the network's delivery hot path; it allocates nothing.
+func (in *Injector) Arrival(k msg.Kind, src, dst topology.NodeID, gatherable bool, t sim.Time) (Action, sim.Time) {
+	act := Pass
+	at := t
+	if !gatherable && in.active(t) && in.inScope(k) {
+		in.Stats.Candidates++
+		switch r := in.draw(); {
+		case r < in.band[0]:
+			if in.spend() {
+				act = DropMsg
+				in.Stats.Drops++
+			}
+		case r < in.band[1]:
+			if in.spend() {
+				act = DupMsg
+				in.Stats.Dups++
+			}
+		case r < in.band[2]:
+			if in.spend() {
+				at = t + in.spec.DelayBy
+				in.Stats.Delays++
+			}
+		case r < in.band[3]:
+			if in.spend() {
+				act = CorruptMsg
+				in.Stats.Corruptions++
+			}
+		}
+	}
+	p := int(src)*in.nodes + int(dst)
+	if at < in.floors[p] {
+		at = in.floors[p]
+	}
+	// A duplicate is delivered one tick after the original; raise the
+	// floor past it so a later message on the pair cannot slip between.
+	if act == DupMsg {
+		in.floors[p] = at + 1
+	} else {
+		in.floors[p] = at
+	}
+	return act, at
+}
+
+// Stall returns the extra latency to add to the current switch-stage
+// traversal at time t: StallFor on every StallEvery-th traversal inside
+// the window, 0 otherwise.
+func (in *Injector) Stall(t sim.Time) sim.Time {
+	if in.spec.StallEvery == 0 || !in.active(t) {
+		return 0
+	}
+	in.stallCtr++
+	if in.stallCtr%uint64(in.spec.StallEvery) != 0 || !in.spend() {
+		return 0
+	}
+	in.Stats.Stalls++
+	return in.spec.StallFor
+}
+
+// NoteDetectedDrop records that an endpoint checksum check caught a
+// corrupted message and discarded it.
+func (in *Injector) NoteDetectedDrop() { in.Stats.DetectedDrops++ }
+
+// Injected returns the total number of faults injected so far.
+func (in *Injector) Injected() int { return in.injected }
+
+// MetricsInto adds the injection ledger to reg under the "faults/"
+// prefix.
+func (in *Injector) MetricsInto(reg *metrics.Registry) {
+	reg.Counter("faults/candidates").Add(in.Stats.Candidates)
+	reg.Counter("faults/drops").Add(in.Stats.Drops)
+	reg.Counter("faults/dups").Add(in.Stats.Dups)
+	reg.Counter("faults/delays").Add(in.Stats.Delays)
+	reg.Counter("faults/corruptions").Add(in.Stats.Corruptions)
+	reg.Counter("faults/detected-drops").Add(in.Stats.DetectedDrops)
+	reg.Counter("faults/stalls").Add(in.Stats.Stalls)
+}

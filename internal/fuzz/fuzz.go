@@ -1,12 +1,14 @@
 package fuzz
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
 
 	"cenju4/internal/core"
 	"cenju4/internal/cpu"
+	"cenju4/internal/faults"
 	"cenju4/internal/machine"
 	"cenju4/internal/metrics"
 	"cenju4/internal/runner"
@@ -66,6 +68,11 @@ type Case struct {
 	Cell    Cell
 	// Faults injects deliberate protocol bugs (self-tests only).
 	Faults *core.Faults
+	// Fault is the deterministic network fault plan (zero = fault-free).
+	Fault faults.Spec
+	// MaxEvents bounds the run (0 = unlimited); overruns surface as a
+	// budget abort in Panic.
+	MaxEvents uint64
 	// Trace attaches a protocol trace collector; on failure the result
 	// carries the delivery trace for the first violating block.
 	Trace bool
@@ -89,10 +96,17 @@ type Result struct {
 	TotalViolations int
 	ValidateErr     string
 	Panic           string
-	Quiescents      int
-	SimTime         sim.Time
-	Events          uint64
-	Misses          uint64
+	// Watchdog is set when the machine's quiescence watchdog aborted
+	// the case: the fault plan was unrecoverable (Panic carries the
+	// stuck-state diagnosis). Chaos sweeps expect it for such plans.
+	Watchdog bool
+	// Digest fingerprints the completed run's result (empty when the
+	// case aborted); chaos sweeps compare it across parallelism levels.
+	Digest     string
+	Quiescents int
+	SimTime    sim.Time
+	Events     uint64
+	Misses     uint64
 	// Shrink results (set by Run when a failing case shrinks).
 	Reproducer string
 	ShrinkRuns int
@@ -128,6 +142,14 @@ type Options struct {
 	MaxShrinkRuns int
 	// Faults forwards injected bugs to every case (self-tests).
 	Faults *core.Faults
+	// Fault forwards a deterministic network fault plan to every case.
+	Fault faults.Spec
+	// MaxEvents bounds every case's event count (0 = unlimited). Fault
+	// sweeps set it: an unrecoverable plan under the nack protocol
+	// livelocks (endless nack/retry around the wedged block) instead of
+	// going quiescent, and the budget is what turns that into a bounded
+	// abort.
+	MaxEvents uint64
 	// CollectMetrics attaches a metrics registry to every case; merge
 	// them with Report.MergedMetrics.
 	CollectMetrics bool
@@ -181,14 +203,16 @@ func Run(o Options) *Report {
 	for _, p := range o.Patterns {
 		for _, cell := range o.Cells {
 			cases = append(cases, Case{
-				Seed:    CaseSeed(o.Seed, len(cases)),
-				Nodes:   o.Nodes,
-				Ops:     o.Ops,
-				Rounds:  o.Rounds,
-				Pattern: p,
-				Cell:    cell,
-				Faults:  o.Faults,
-				Metrics: o.CollectMetrics,
+				Seed:      CaseSeed(o.Seed, len(cases)),
+				Nodes:     o.Nodes,
+				Ops:       o.Ops,
+				Rounds:    o.Rounds,
+				Pattern:   p,
+				Cell:      cell,
+				Faults:    o.Faults,
+				Fault:     o.Fault,
+				MaxEvents: o.MaxEvents,
+				Metrics:   o.CollectMetrics,
 			})
 		}
 	}
@@ -248,6 +272,7 @@ func RunOps(c Case, ops [][]cpu.Op) (res *Result) {
 		Mode:       c.Cell.Mode,
 		UpdateMode: update,
 		Faults:     c.Faults,
+		Fault:      c.Fault,
 		// A short quantum makes the processors interleave at fine grain,
 		// which is where protocol races live.
 		CPU: cpu.Config{Quantum: 1000},
@@ -287,6 +312,9 @@ func RunOps(c Case, ops [][]cpu.Op) (res *Result) {
 	defer func() {
 		if r := recover(); r != nil {
 			res.Panic = fmt.Sprint(r)
+			if _, ok := r.(*machine.DeadlockError); ok {
+				res.Watchdog = true
+			}
 			finish()
 		}
 	}()
@@ -300,11 +328,12 @@ func RunOps(c Case, ops [][]cpu.Op) (res *Result) {
 		for n := range progs {
 			progs[n] = &cpu.SliceProgram{Ops: roundSlice(ops[n], r, rounds)}
 		}
-		mr := m.Run(progs)
+		mr := runMachine(m, progs, c.MaxEvents)
 		res.Quiescents++
 		res.SimTime = mr.Time
 		res.Events = mr.Events
 		res.Misses = mr.Totals().Misses
+		res.Digest = machine.Digest(mr)
 		if orc.total > 0 || firstInvalid() != nil {
 			break // already failing: stop early so shrinking stays cheap
 		}
@@ -314,6 +343,20 @@ func RunOps(c Case, ops [][]cpu.Op) (res *Result) {
 	}
 	finish()
 	return res
+}
+
+// runMachine runs one round, optionally under an event budget. Budget
+// and watchdog aborts both surface as panics so RunOps's recover path
+// classifies them uniformly (machine.Run already panics on deadlock).
+func runMachine(m *machine.Machine, progs []cpu.Program, maxEvents uint64) machine.Result {
+	if maxEvents == 0 {
+		return m.Run(progs)
+	}
+	r, err := m.RunContext(context.Background(), progs, maxEvents)
+	if err != nil {
+		panic(err)
+	}
+	return r
 }
 
 // roundSlice returns stream r of rounds equal chunks of ops.
@@ -380,6 +423,9 @@ func (r *Report) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "fuzz seed=%d nodes=%d ops/case=%d rounds=%d cases=%d\n",
 		r.Options.Seed, r.Options.Nodes, r.Options.Ops, r.Options.Rounds, len(r.Results))
+	if r.Options.Fault.Enabled() {
+		fmt.Fprintf(&b, "fault plan: %v\n", r.Options.Fault)
+	}
 	var loads, stores int
 	var events uint64
 	for _, res := range r.Results {

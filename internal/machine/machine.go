@@ -13,6 +13,7 @@ import (
 	"cenju4/internal/cache"
 	"cenju4/internal/core"
 	"cenju4/internal/cpu"
+	"cenju4/internal/faults"
 	"cenju4/internal/metrics"
 	"cenju4/internal/mpi"
 	"cenju4/internal/msg"
@@ -56,6 +57,12 @@ type Config struct {
 	// sparse paged store. Observable behavior is identical (the digest
 	// differential test proves it); only memory cost differs.
 	DenseDirectory bool
+	// Fault is the deterministic fault plan: message loss, duplication,
+	// delay, and corruption on the network; switch stalls; buffer
+	// squeezes; and the recovery machinery (timeouts + bounded
+	// retransmits) that repairs the injected damage. The zero value is
+	// fault-free and leaves every hot path untouched.
+	Fault faults.Spec
 }
 
 func (c Config) withDefaults() Config {
@@ -86,6 +93,10 @@ func New(cfg Config) *Machine {
 		panic(fmt.Sprintf("machine: invalid node count %d", cfg.Nodes))
 	}
 	m := &Machine{cfg: cfg, eng: sim.NewEngine()}
+	fs := cfg.Fault.Normalize()
+	if err := fs.Validate(); err != nil {
+		panic(fmt.Sprintf("machine: %v", err))
+	}
 	// One message pool serves the whole machine: controllers allocate
 	// from it, the network's release points feed it. Safe because every
 	// machine handler is Controller.Deliver, which never retains a
@@ -97,6 +108,7 @@ func New(cfg Config) *Machine {
 		Multicast: cfg.Multicast,
 		Params:    cfg.Params,
 		Pool:      pool,
+		Injector:  fs.Compile(cfg.Nodes),
 	})
 	m.world = mpi.New(m.eng, cfg.Nodes, cfg.MPI)
 	m.ctrls = make([]*core.Controller, cfg.Nodes)
@@ -120,6 +132,9 @@ func New(cfg Config) *Machine {
 			Faults:              cfg.Faults,
 			Pool:                pool,
 			DenseDirectory:      cfg.DenseDirectory,
+			RequestTimeout:      fs.Timeout,
+			RetransmitLimit:     fs.Retries,
+			ModuleBufEntries:    fs.ModuleBuf,
 		})
 		m.net.Attach(node, m.ctrls[i].Deliver)
 		cpuCfg := cfg.CPU
@@ -234,6 +249,9 @@ func (m *Machine) MetricsInto(reg *metrics.Registry) {
 	reg.Gauge("sim/time-ns").Peak(int64(m.eng.Now()))
 	reg.Gauge("sim/nodes").Peak(int64(m.cfg.Nodes))
 	m.net.MetricsInto(reg)
+	if inj := m.net.Injector(); inj != nil {
+		inj.MetricsInto(reg)
+	}
 	for _, c := range m.ctrls {
 		c.MetricsInto(reg)
 	}
@@ -271,19 +289,39 @@ type Result struct {
 	Events uint64
 }
 
-// Run executes one program per node to completion and returns the
-// aggregated result. len(progs) must equal the node count.
-func (m *Machine) Run(progs []cpu.Program) Result {
+// launch starts every program and returns the per-node completion
+// flags the watchdog reads at quiescence.
+func (m *Machine) launch(progs []cpu.Program) []bool {
 	if len(progs) != m.cfg.Nodes {
 		panic(fmt.Sprintf("machine: %d programs for %d nodes", len(progs), m.cfg.Nodes))
 	}
-	remaining := m.cfg.Nodes
+	done := make([]bool, m.cfg.Nodes)
 	for i, p := range progs {
-		m.cpus[i].Run(p, func() { remaining-- })
+		i := i
+		m.cpus[i].Run(p, func() { done[i] = true })
 	}
+	return done
+}
+
+func allDone(done []bool) bool {
+	for _, ok := range done {
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Run executes one program per node to completion and returns the
+// aggregated result. len(progs) must equal the node count. Quiescence
+// with unfinished programs panics with a *DeadlockError carrying the
+// watchdog's stuck-state diagnosis; callers that want it as a value
+// use RunContext.
+func (m *Machine) Run(progs []cpu.Program) Result {
+	done := m.launch(progs)
 	m.eng.Run()
-	if remaining != 0 {
-		panic(fmt.Sprintf("machine: %d programs never finished (deadlock or unmatched synchronization)", remaining))
+	if !allDone(done) {
+		panic(m.deadlock(done))
 	}
 	return m.Snapshot()
 }
@@ -308,14 +346,11 @@ const runPollEvents = 4096
 // meaningful. A run that completes is indistinguishable from Run: the
 // chunked loop executes the identical event sequence (see
 // sim.Engine.RunChunk), so digests and metrics are unaffected.
+// Unlike Run, a watchdog trip surfaces as a returned *DeadlockError
+// (classified with errors.Is(err, ErrDeadlock)), not a panic — the
+// serve and chaos layers report the diagnosis instead of crashing.
 func (m *Machine) RunContext(ctx context.Context, progs []cpu.Program, maxEvents uint64) (Result, error) {
-	if len(progs) != m.cfg.Nodes {
-		panic(fmt.Sprintf("machine: %d programs for %d nodes", len(progs), m.cfg.Nodes))
-	}
-	remaining := m.cfg.Nodes
-	for i, p := range progs {
-		m.cpus[i].Run(p, func() { remaining-- })
-	}
+	done := m.launch(progs)
 	var fired uint64
 	for {
 		if err := ctx.Err(); err != nil {
@@ -338,8 +373,8 @@ func (m *Machine) RunContext(ctx context.Context, progs []cpu.Program, maxEvents
 			break
 		}
 	}
-	if remaining != 0 {
-		panic(fmt.Sprintf("machine: %d programs never finished (deadlock or unmatched synchronization)", remaining))
+	if !allDone(done) {
+		return Result{}, m.deadlock(done)
 	}
 	return m.Snapshot(), nil
 }

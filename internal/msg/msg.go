@@ -147,6 +147,19 @@ type Message struct {
 	// harness's consistency oracle); timing never depends on it.
 	Val uint64
 
+	// Seq tags a master transaction so replies can be matched to the
+	// retransmitting attempt under fault injection: the master stamps
+	// its requests, the home echoes the stamp into every reply, and the
+	// master discards replies whose stamp does not match its
+	// outstanding slot (duplicate replies after a recovered loss).
+	// Zero on all traffic when recovery is disabled.
+	Seq uint32
+	// Sum is the header+payload checksum sealed at network entry when a
+	// fault injector is active; the delivery endpoint verifies it so
+	// injected corruption becomes detected loss. Zero (and unchecked)
+	// in fault-free runs.
+	Sum uint32
+
 	// inPool guards against double release / use-after-release when the
 	// message came from a Pool (see pool.go).
 	inPool bool
@@ -159,6 +172,49 @@ type Message struct {
 func (m *Message) GatherContribution() bool {
 	return m.Gather != nil && m.Dest.SingleTo(m.Gather.Home)
 }
+
+// fnvMix folds the 8 bytes of v into an FNV-1a hash.
+func fnvMix(h uint32, v uint64) uint32 {
+	for i := 0; i < 8; i++ {
+		h ^= uint32(v & 0xff)
+		h *= 16777619
+		v >>= 8
+	}
+	return h
+}
+
+// Checksum hashes the fields that must survive the wire intact: kind,
+// source, address, originating master, the data/exclusivity flags, the
+// retransmit sequence stamp and the tagged payload value. Dest and
+// Gather are deliberately excluded — the network rewrites them while
+// routing (multicast narrowing, gather merging), so including them
+// would invalidate legitimately forwarded copies.
+func (m *Message) Checksum() uint32 {
+	h := fnvMix(2166136261, uint64(m.Kind))
+	h = fnvMix(h, uint64(m.Src))
+	h = fnvMix(h, uint64(m.Addr))
+	h = fnvMix(h, uint64(m.Master))
+	var flags uint64
+	if m.HasData {
+		flags |= 1
+	}
+	if m.Excl {
+		flags |= 2
+	}
+	h = fnvMix(h, flags)
+	h = fnvMix(h, uint64(m.Seq))
+	return fnvMix(h, m.Val)
+}
+
+// Seal stamps the checksum; the network calls it at entry when a fault
+// injector is active.
+//
+//cenju4:hotpath
+func (m *Message) Seal() { m.Sum = m.Checksum() }
+
+// SumOK verifies the seal. A corrupted message fails here and is
+// treated as a detected loss by the delivery endpoint.
+func (m *Message) SumOK() bool { return m.Sum == m.Checksum() }
 
 // Bytes returns the wire size of the message.
 func (m *Message) Bytes() int {

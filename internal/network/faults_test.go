@@ -1,0 +1,144 @@
+package network
+
+import (
+	"testing"
+
+	"cenju4/internal/directory"
+	"cenju4/internal/faults"
+	"cenju4/internal/msg"
+	"cenju4/internal/sim"
+	"cenju4/internal/topology"
+)
+
+func injHarness(t *testing.T, spec faults.Spec) *harness {
+	t.Helper()
+	return newHarness(t, Config{
+		Nodes:     16,
+		Multicast: true,
+		Injector:  spec.Normalize().Compile(16),
+	})
+}
+
+func TestInjectedDropLosesMessage(t *testing.T) {
+	h := injHarness(t, faults.Spec{Seed: 1, Drop: 1})
+	h.net.Send(singlecast(1, 2, false))
+	h.eng.Run()
+	if len(h.got) != 0 {
+		t.Fatalf("drop=1 plan delivered %d messages", len(h.got))
+	}
+	if got := h.net.Injector().Stats.Drops; got != 1 {
+		t.Fatalf("Drops = %d, want 1", got)
+	}
+}
+
+func TestInjectedDupDeliversTwice(t *testing.T) {
+	h := injHarness(t, faults.Spec{Seed: 1, Dup: 1})
+	h.net.Send(singlecast(1, 2, true))
+	h.eng.Run()
+	if len(h.got) != 2 {
+		t.Fatalf("dup=1 plan delivered %d messages, want 2", len(h.got))
+	}
+	if h.got[1].at != h.got[0].at+1 {
+		t.Fatalf("duplicate at %d, original at %d: want original+1", h.got[1].at, h.got[0].at)
+	}
+	for _, d := range h.got {
+		if d.m.Kind != h.got[0].m.Kind || d.m.Addr != h.got[0].m.Addr {
+			t.Fatalf("duplicate differs from original: %v vs %v", d.m, h.got[0].m)
+		}
+	}
+}
+
+func TestInjectedCorruptionIsDetectedLoss(t *testing.T) {
+	for _, data := range []bool{false, true} {
+		h := injHarness(t, faults.Spec{Seed: 1, Corrupt: 1})
+		h.net.Send(singlecast(1, 2, data))
+		h.eng.Run()
+		if len(h.got) != 0 {
+			t.Fatalf("data=%v: corrupted message reached the handler", data)
+		}
+		st := h.net.Injector().Stats
+		if st.Corruptions != 1 || st.DetectedDrops != 1 {
+			t.Fatalf("data=%v: Corruptions=%d DetectedDrops=%d, want 1/1", data, st.Corruptions, st.DetectedDrops)
+		}
+	}
+}
+
+func TestInjectedDelayPreservesPairOrder(t *testing.T) {
+	h := injHarness(t, faults.Spec{Seed: 7, Delay: 0.5, DelayBy: 50_000})
+	const sends = 40
+	send := func(i int) {
+		h.net.Send(singlecast(3, 9, i%2 == 0))
+	}
+	for i := 0; i < sends; i++ {
+		i := i
+		h.eng.At(sim.Time(i*10), func() { send(i) })
+	}
+	h.eng.Run()
+	if len(h.got) != sends {
+		t.Fatalf("%d deliveries, want %d", len(h.got), sends)
+	}
+	for i := 1; i < len(h.got); i++ {
+		if h.got[i].at < h.got[i-1].at {
+			t.Fatalf("delivery %d at %d before previous at %d: pair order violated", i, h.got[i].at, h.got[i-1].at)
+		}
+	}
+	if h.net.Injector().Stats.Delays == 0 {
+		t.Fatal("delay plan injected nothing")
+	}
+}
+
+func TestInjectedStallSlowsTraversal(t *testing.T) {
+	base := newHarness(t, Config{Nodes: 16, Multicast: true})
+	base.net.Send(singlecast(1, 14, false))
+	base.eng.Run()
+
+	h := injHarness(t, faults.Spec{Seed: 1, StallEvery: 1, StallFor: 1000})
+	h.net.Send(singlecast(1, 14, false))
+	h.eng.Run()
+	if len(h.got) != 1 || len(base.got) != 1 {
+		t.Fatalf("deliveries: faulted %d, base %d", len(h.got), len(base.got))
+	}
+	wantExtra := sim.Time(h.net.Stages()) * 1000
+	if h.got[0].at != base.got[0].at+wantExtra {
+		t.Fatalf("stalled arrival %d, want base %d + %d", h.got[0].at, base.got[0].at, wantExtra)
+	}
+	if got := h.net.Injector().Stats.Stalls; got != uint64(h.net.Stages()) {
+		t.Fatalf("Stalls = %d, want %d", got, h.net.Stages())
+	}
+}
+
+func TestGatherTrafficExemptFromScopeAllLoss(t *testing.T) {
+	// Gather-carrying traffic is exempt from loss faults by contract
+	// (dropping a combining-tree contribution would leak its pooled
+	// group record): a full multicast + gathered-ack round trip
+	// completes even under a drop-everything ScopeAll plan.
+	h := injHarness(t, faults.Spec{Seed: 3, Drop: 1, Scope: faults.ScopeAll})
+	members := []topology.NodeID{2, 3, 4, 5}
+	const home topology.NodeID = 0
+	inv := multicastTo(home, members)
+	g := h.net.AllocGather(inv.Dest, home)
+	inv.Gather = g
+	h.net.Send(inv)
+	h.eng.Run()
+	if len(h.got) != len(members) {
+		t.Fatalf("%d invalidations delivered, want %d", len(h.got), len(members))
+	}
+	h.got = nil
+	for _, s := range members {
+		h.net.Send(&msg.Message{
+			Kind:   msg.InvAck,
+			Src:    s,
+			Dest:   directory.Single(home),
+			Addr:   inv.Addr,
+			Master: home,
+			Gather: g,
+		})
+	}
+	h.eng.Run()
+	if len(h.got) != 1 || h.got[0].node != home || h.got[0].m.Kind != msg.InvAck {
+		t.Fatalf("gathered ack did not survive ScopeAll loss plan: %v", h.got)
+	}
+	if h.net.ActiveGathers() != 0 {
+		t.Fatalf("ActiveGathers = %d after retire, want 0", h.net.ActiveGathers())
+	}
+}

@@ -41,6 +41,7 @@ import (
 	"fmt"
 
 	"cenju4/internal/directory"
+	"cenju4/internal/faults"
 	"cenju4/internal/metrics"
 	"cenju4/internal/msg"
 	"cenju4/internal/sim"
@@ -72,6 +73,13 @@ type Config struct {
 	// returning — machine.Machine does; handlers that retain delivered
 	// messages must leave Pool nil.
 	Pool *msg.Pool
+	// Injector, when non-nil, applies a compiled fault plan to this
+	// network: messages are checksum-sealed at entry and verified at
+	// delivery, and the injector decides per endpoint delivery whether
+	// to drop, duplicate, delay or corrupt (see internal/faults). A nil
+	// Injector leaves the fault-free hot path untouched beyond one
+	// pointer test per delivery.
+	Injector *faults.Injector
 }
 
 func (c Config) withDefaults() Config {
@@ -185,6 +193,18 @@ func runDelivery(x any) {
 	var g *msg.Gather
 	if m.Gather != nil && (m.Kind == msg.InvAck || m.Kind == msg.UpdateAck) {
 		g = m.Gather
+	}
+	// Under fault injection every message was sealed at network entry;
+	// a failed verification here is an injected corruption surfacing as
+	// a detected loss — the message is discarded and (for recoverable
+	// kinds) the master's timeout repairs it.
+	if inj := n.cfg.Injector; inj != nil && !m.SumOK() {
+		inj.NoteDetectedDrop()
+		n.cfg.Pool.Put(m)
+		if g != nil {
+			n.freeGroups = append(n.freeGroups, g)
+		}
+		return
 	}
 	n.handlers[node](m)
 	n.cfg.Pool.Put(m)
@@ -304,6 +324,15 @@ func (n *Network) claim(busy *sim.Time, t, ser sim.Time) sim.Time {
 	return start
 }
 
+// stall returns the injected extra latency for the stage traversal
+// starting at t (zero without an injector — the fault-free fast path).
+func (n *Network) stall(t sim.Time) sim.Time {
+	if inj := n.cfg.Injector; inj != nil {
+		return inj.Stall(t)
+	}
+	return 0
+}
+
 func (n *Network) hopSer(data bool) (hop, ser sim.Time) {
 	p := n.cfg.Params
 	if data {
@@ -323,7 +352,7 @@ func (n *Network) walkUnicast(src, dst int, t sim.Time, data bool) sim.Time {
 		sw := n.switchFor(k, src, dst)
 		port := n.digit(dst, k)
 		start := n.claim(&sw.portBusy[port], t, ser)
-		t = start + hop
+		t = start + hop + n.stall(start)
 		n.stats.Hops++
 		n.stageBusy[k] += ser
 		n.stageHops[k]++
@@ -342,6 +371,35 @@ func (n *Network) deliver(m *msg.Message, node topology.NodeID, t sim.Time) {
 	if n.handlers[node] == nil {
 		panic(fmt.Sprintf("network: no handler attached at %v", node))
 	}
+	if inj := n.cfg.Injector; inj != nil {
+		act, at := inj.Arrival(m.Kind, m.Src, node, m.Gather != nil, t)
+		t = at
+		switch act {
+		case faults.DropMsg:
+			// Injected loss: the message vanishes between the wire and
+			// the handler. Not counted as a delivery.
+			n.cfg.Pool.Put(m)
+			return
+		case faults.DupMsg:
+			// Deliver the original at t and a clone one tick later (the
+			// injector's pair floor keeps later traffic behind both).
+			cp := n.cfg.Pool.Clone(m)
+			n.stats.Deliveries++
+			dd := n.allocDelivery()
+			dd.m, dd.node = cp, node
+			n.eng.AtCall(t+1, runDelivery, dd)
+		case faults.CorruptMsg:
+			// Flip one bit — payload when there is one, the checksum
+			// field itself otherwise. runDelivery detects and discards.
+			if m.HasData {
+				m.Val ^= 1
+			} else {
+				m.Sum ^= 1
+			}
+		case faults.Pass:
+			// Untouched (though possibly delayed via at).
+		}
+	}
 	n.stats.Deliveries++
 	d := n.allocDelivery()
 	d.m, d.node = m, node
@@ -357,6 +415,9 @@ func (n *Network) deliver(m *msg.Message, node topology.NodeID, t sim.Time) {
 func (n *Network) Send(m *msg.Message) {
 	now := n.eng.Now()
 	m.SentAt = now
+	if n.cfg.Injector != nil {
+		m.Seal()
+	}
 	n.stats.Messages++
 	if m.HasData {
 		n.stats.DataMessages++
@@ -456,7 +517,7 @@ func (n *Network) mcStep(m *msg.Message, k, prefix int, t sim.Time) {
 		if copyIdx > 0 {
 			n.stats.Replications++
 		}
-		n.mcStep(m, k+1, prefix<<2|d, start+hop)
+		n.mcStep(m, k+1, prefix<<2|d, start+hop+n.stall(start))
 		copyIdx++
 	}
 }
@@ -579,7 +640,7 @@ func (n *Network) walkGather(m *msg.Message, t sim.Time) {
 		n.freeGathers = append(n.freeGathers, ge)
 		port := n.digit(home, k)
 		start := n.claim(&sw.portBusy[port], t, ser)
-		t = start + hop
+		t = start + hop + n.stall(start)
 		n.stats.Hops++
 		n.stageBusy[k] += ser
 		n.stageHops[k]++
@@ -590,6 +651,16 @@ func (n *Network) walkGather(m *msg.Message, t sim.Time) {
 	n.activeGathers--
 	n.deliver(m, topology.NodeID(home), t)
 }
+
+// ActiveGathers returns the number of gather groups currently in
+// flight — allocated but not yet retired by their combined delivery.
+// Nonzero at quiescence means replies went missing inside a combining
+// tree; the machine watchdog reports it.
+func (n *Network) ActiveGathers() int { return n.activeGathers }
+
+// Injector returns the compiled fault plan driving this network, nil
+// in fault-free runs.
+func (n *Network) Injector() *faults.Injector { return n.cfg.Injector }
 
 // MetricsInto records the network's activity counters and per-stage
 // output-port utilization into reg under the "net/" prefix. Utilization

@@ -10,6 +10,8 @@ import (
 	"math/rand"
 	"net/http"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -44,6 +46,15 @@ type LoadOptions struct {
 	// SharedSpecs is how many distinct "popular" specs the duplicate
 	// traffic draws from (default 4).
 	SharedSpecs int
+	// MaxRetries is how many times a shed response (429 queue-full or
+	// 503 unavailable) is retried before it is tallied. 0 disables
+	// retries. Each retry backs off exponentially from RetryBackoff
+	// with seeded jitter, and never shorter than the server's
+	// Retry-After header.
+	MaxRetries int
+	// RetryBackoff is the base of the exponential retry backoff
+	// (default 25ms).
+	RetryBackoff time.Duration
 	// Client overrides the HTTP client (tests inject the httptest
 	// client; nil builds one sized for Clients connections).
 	Client *http.Client
@@ -64,6 +75,9 @@ func (o LoadOptions) withDefaults() LoadOptions {
 	}
 	if o.SharedSpecs <= 0 {
 		o.SharedSpecs = 4
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 25 * time.Millisecond
 	}
 	if o.Spec.App == "" {
 		o.Spec = Spec{App: "cg", Variant: "dsm2", Nodes: 8, Iterations: 1, Scale: 0.02}
@@ -87,7 +101,8 @@ type LoadReport struct {
 	Hits      int `json:"hits"`       // X-Cenju4-Cache: hit
 	Coalesced int `json:"coalesced"`  // X-Cenju4-Cache: coalesced
 	Misses    int `json:"misses"`     // X-Cenju4-Cache: miss
-	Rejected  int `json:"rejected"`   // 429 queue-full responses
+	Rejected  int `json:"rejected"`   // 429 queue-full responses (after retries)
+	Retries   int `json:"retries"`    // shed responses retried after backoff
 	Errors    int `json:"errors"`     // transport errors / non-2xx non-429
 	Digests   int `json:"digests"`    // distinct digests observed
 	Reverify  int `json:"reverified"` // digests re-GET and compared
@@ -116,7 +131,7 @@ func (r LoadReport) String() string {
 	fmt.Fprintf(&b, "requests   %d in %v (%.1f req/s)\n", r.Requests, r.Elapsed.Round(time.Millisecond), r.Throughput)
 	fmt.Fprintf(&b, "cache      %d hit / %d coalesced / %d miss  (hit rate %.1f%%)\n",
 		r.Hits, r.Coalesced, r.Misses, 100*r.HitRate())
-	fmt.Fprintf(&b, "shed       %d rejected (429), %d errors\n", r.Rejected, r.Errors)
+	fmt.Fprintf(&b, "shed       %d rejected (429), %d retried, %d errors\n", r.Rejected, r.Retries, r.Errors)
 	fmt.Fprintf(&b, "identity   %d digests, %d reverified, %d mismatched\n", r.Digests, r.Reverify, r.Mismatch)
 	fmt.Fprintf(&b, "latency    p50 %v  p95 %v  p99 %v  max %v\n",
 		r.LatencyP50.Round(time.Microsecond), r.LatencyP95.Round(time.Microsecond),
@@ -129,6 +144,7 @@ func (r LoadReport) String() string {
 // share nothing while running.
 type loadClient struct {
 	rng       *rand.Rand
+	jitter    *rand.Rand // backoff jitter; separate stream so retries never perturb the spec mix
 	latencies []time.Duration
 	report    LoadReport
 	bodies    map[string][32]byte // digest -> sha256 of first-seen body
@@ -160,6 +176,7 @@ func RunLoad(ctx context.Context, opts LoadOptions) (LoadReport, error) {
 	for c := 0; c < opts.Clients; c++ {
 		lc := &loadClient{
 			rng:    rand.New(rand.NewSource(int64(runner.DeriveSeed(opts.Seed, c)))),
+			jitter: rand.New(rand.NewSource(int64(runner.DeriveSeed(opts.Seed, 1<<20+c)))),
 			bodies: make(map[string][32]byte),
 		}
 		clients[c] = lc
@@ -209,6 +226,7 @@ func RunLoad(ctx context.Context, opts LoadOptions) (LoadReport, error) {
 		total.Coalesced += lc.report.Coalesced
 		total.Misses += lc.report.Misses
 		total.Rejected += lc.report.Rejected
+		total.Retries += lc.report.Retries
 		total.Errors += lc.report.Errors
 		total.Mismatch += lc.report.Mismatch
 		lats = append(lats, lc.latencies...)
@@ -276,28 +294,43 @@ func RunLoad(ctx context.Context, opts LoadOptions) (LoadReport, error) {
 	return total, nil
 }
 
-// post issues one job submission and tallies it.
+// post issues one job submission, retrying shed responses up to
+// MaxRetries times, and tallies the final outcome.
 func (lc *loadClient) post(ctx context.Context, opts LoadOptions, spec Spec) {
 	payload, err := json.Marshal(spec)
 	if err != nil {
 		lc.report.Errors++
 		return
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, opts.BaseURL+"/v1/jobs", bytes.NewReader(payload))
-	if err != nil {
-		lc.report.Errors++
-		return
+	var resp *http.Response
+	var body []byte
+	var readErr error
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, opts.BaseURL+"/v1/jobs", bytes.NewReader(payload))
+		if err != nil {
+			lc.report.Errors++
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		t0 := time.Now()
+		resp, err = opts.Client.Do(req)
+		if err != nil {
+			lc.report.Errors++
+			return
+		}
+		body, readErr = io.ReadAll(resp.Body)
+		resp.Body.Close()
+		lc.latencies = append(lc.latencies, time.Since(t0))
+		shed := resp.StatusCode == http.StatusTooManyRequests ||
+			resp.StatusCode == http.StatusServiceUnavailable
+		if !shed || attempt >= opts.MaxRetries {
+			break
+		}
+		lc.report.Retries++
+		if !sleepCtx(ctx, retryDelay(lc.jitter, attempt, resp.Header.Get("Retry-After"), opts.RetryBackoff)) {
+			break // cancelled mid-backoff: tally the response we have
+		}
 	}
-	req.Header.Set("Content-Type", "application/json")
-	t0 := time.Now()
-	resp, err := opts.Client.Do(req)
-	if err != nil {
-		lc.report.Errors++
-		return
-	}
-	body, readErr := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	lc.latencies = append(lc.latencies, time.Since(t0))
 	lc.report.Requests++
 	switch {
 	case resp.StatusCode == http.StatusTooManyRequests:
@@ -330,6 +363,41 @@ func (lc *loadClient) post(ctx context.Context, opts LoadOptions, spec Spec) {
 		}
 	} else {
 		lc.bodies[dig] = sum
+	}
+}
+
+// retryDelay computes the backoff before the 0-based retry attempt:
+// exponential from base (capped at 2s), never shorter than the
+// server's Retry-After header, plus up to 50% seeded jitter so
+// synchronized clients spread their retry storm.
+func retryDelay(rng *rand.Rand, attempt int, retryAfter string, base time.Duration) time.Duration {
+	if base <= 0 {
+		base = 25 * time.Millisecond
+	}
+	d := base << uint(min(attempt, 20))
+	if d > 2*time.Second {
+		d = 2 * time.Second
+	}
+	if secs, err := strconv.Atoi(strings.TrimSpace(retryAfter)); err == nil && secs > 0 {
+		if ra := time.Duration(secs) * time.Second; ra > d {
+			d = ra
+		}
+	}
+	return d + time.Duration(rng.Int63n(int64(d)/2+1))
+}
+
+// sleepCtx sleeps for d unless ctx is cancelled first.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
 	}
 }
 

@@ -74,6 +74,7 @@ func Execute(ctx context.Context, dig string, spec Spec, maxEvents uint64) (*Ent
 		Multicast:  !spec.NoMulticast,
 		Mode:       spec.mode(),
 		UpdateMode: w.UpdateMode,
+		Fault:      spec.fault(),
 	})
 	var col *trace.Collector
 	if spec.TraceMax > 0 {

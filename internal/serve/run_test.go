@@ -121,6 +121,78 @@ func TestExecuteCancelled(t *testing.T) {
 	}
 }
 
+// TestExecuteRecoverableFault: a lossy fault plan threads all the way
+// into the machine — the run still completes (recovery masks the
+// losses), its payload is deterministic, and the injector's ledger
+// shows up in the embedded metrics.
+func TestExecuteRecoverableFault(t *testing.T) {
+	spec := runSpec(t)
+	spec.Fault = "light-loss"
+	spec = spec.Normalize()
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	dig := spec.Digest()
+	a, _, err := Execute(context.Background(), dig, spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Execute(context.Background(), dig, spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Body, b.Body) {
+		t.Fatal("faulty executions of one spec rendered different payloads")
+	}
+	if !bytes.Contains(a.Body, []byte("faults/candidates")) {
+		t.Fatal("payload metrics missing the fault injector's ledger")
+	}
+
+	clean := runSpec(t)
+	ce, _, err := Execute(context.Background(), clean.Digest(), clean, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cd, fd Payload
+	if err := json.Unmarshal(ce.Body, &cd); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(a.Body, &fd); err != nil {
+		t.Fatal(err)
+	}
+	if cd.Result.ResultDigest == fd.Result.ResultDigest {
+		t.Fatal("fault plan did not perturb the simulation (injector not threaded?)")
+	}
+}
+
+// TestExecuteUnrecoverableFaultTripsWatchdog: a plan that wedges the
+// protocol surfaces as machine.ErrDeadlock — never a hang, never a
+// partial payload — which the HTTP layer classifies as a watchdog
+// abort (TestJobAbortClassification).
+func TestExecuteUnrecoverableFaultTripsWatchdog(t *testing.T) {
+	spec := runSpec(t)
+	// Unmapped shared data keeps dirty blocks remote from their homes,
+	// so the workload genuinely depends on the forward leg this plan
+	// severs; the mapped variant never needs one.
+	spec.NoMapping = true
+	spec.Fault = "drop=1,scope=forwards,timeout=20000,retries=2"
+	spec = spec.Normalize()
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	e, _, err := Execute(context.Background(), spec.Digest(), spec, 0)
+	if !errors.Is(err, machine.ErrDeadlock) {
+		t.Fatalf("err = %v, want machine.ErrDeadlock", err)
+	}
+	if e != nil {
+		t.Fatal("watchdog-aborted run returned an entry")
+	}
+	var de *machine.DeadlockError
+	if !errors.As(err, &de) || de.Diagnosis == "" {
+		t.Fatalf("watchdog abort carries no diagnosis: %v", err)
+	}
+}
+
 // TestServerRealExecutor: the whole stack with no stub — POST runs a
 // real simulation, the repeat is a byte-identical cache hit, and the
 // trace endpoint serves the Chrome payload.

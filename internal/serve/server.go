@@ -29,6 +29,18 @@ const (
 const (
 	HeaderCache  = "X-Cenju4-Cache"
 	HeaderDigest = "X-Cenju4-Digest"
+	// HeaderAbort classifies why a job died: "watchdog" (the machine
+	// went quiescent with unfinished programs — an unrecoverable fault
+	// plan wedged the protocol), "budget" (event-budget overrun, e.g. a
+	// nack-mode livelock), or "timeout" (wall-clock deadline).
+	HeaderAbort = "X-Cenju4-Abort"
+)
+
+// HeaderAbort values.
+const (
+	AbortWatchdog = "watchdog"
+	AbortBudget   = "budget"
+	AbortTimeout  = "timeout"
 )
 
 // maxSpecBytes bounds a POST body; a job spec is a few hundred bytes,
@@ -178,6 +190,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		errorBody(w, http.StatusTooManyRequests, "%v", err)
 		return
 	case errors.Is(err, ErrShuttingDown):
+		w.Header().Set("Retry-After", "1")
 		errorBody(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	case err != nil:
@@ -196,19 +209,28 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeEntry(w, entry, disposition)
 }
 
-// writeJobError maps a job failure to a status. Resource-limit
-// violations are the client's fault (422), deadlines are a gateway
-// timeout (504), shutdown is 503, the rest are 500s.
+// writeJobError maps a job failure to a status. Aborted simulations
+// are the spec's fault (422) and carry an X-Cenju4-Abort header naming
+// the mechanism that caught them — a watchdog trip (unrecoverable
+// fault plan) is a different diagnosis from an event-budget overrun
+// (livelock or runaway job); deadlines are a gateway timeout (504),
+// shutdown is 503 with Retry-After, the rest are 500s.
 func (s *Server) writeJobError(w http.ResponseWriter, r *http.Request, err error) {
 	switch {
 	case r.Context().Err() != nil:
 		// The client went away; nobody is reading this response.
 		errorBody(w, http.StatusRequestTimeout, "client cancelled: %v", r.Context().Err())
+	case errors.Is(err, machine.ErrDeadlock):
+		w.Header().Set(HeaderAbort, AbortWatchdog)
+		errorBody(w, http.StatusUnprocessableEntity, "watchdog abort: %v", err)
 	case errors.Is(err, machine.ErrEventBudget):
+		w.Header().Set(HeaderAbort, AbortBudget)
 		errorBody(w, http.StatusUnprocessableEntity, "over limit: %v", err)
 	case errors.Is(err, context.DeadlineExceeded):
+		w.Header().Set(HeaderAbort, AbortTimeout)
 		errorBody(w, http.StatusGatewayTimeout, "job timed out: %v", err)
 	case errors.Is(err, ErrShuttingDown), errors.Is(err, context.Canceled):
+		w.Header().Set("Retry-After", "1")
 		errorBody(w, http.StatusServiceUnavailable, "%v", ErrShuttingDown)
 	default:
 		errorBody(w, http.StatusInternalServerError, "%v", err)
@@ -278,6 +300,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if s.closed.Load() {
+		w.Header().Set("Retry-After", "1")
 		errorBody(w, http.StatusServiceUnavailable, "%v", ErrShuttingDown)
 		return
 	}

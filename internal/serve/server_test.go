@@ -233,6 +233,9 @@ func TestQueueFullRejection(t *testing.T) {
 			readAll(t, resp)
 			statuses[i] = resp.StatusCode
 			if resp.StatusCode == http.StatusTooManyRequests {
+				if resp.Header.Get("Retry-After") == "" {
+					t.Error("429 without a Retry-After header")
+				}
 				shedSeen.Add(1)
 			}
 		}(i)

@@ -35,6 +35,7 @@ import (
 
 	"cenju4/internal/core"
 	"cenju4/internal/digest"
+	"cenju4/internal/faults"
 	"cenju4/internal/npb"
 	"cenju4/internal/topology"
 )
@@ -81,6 +82,13 @@ type Spec struct {
 	// events; the Chrome-trace payload is served from
 	// GET /v1/jobs/{digest}/trace.
 	TraceMax int `json:"trace_max,omitempty"`
+	// Fault is a deterministic fault plan: a preset name
+	// ("light-loss") or a k=v spec ("drop=0.02,seed=7"), canonicalized
+	// by Normalize so equivalent spellings share a cache entry. An
+	// unrecoverable plan aborts the job with the machine watchdog's
+	// diagnosis (classified distinctly from budget and timeout
+	// aborts). Empty means fault-free.
+	Fault string `json:"fault,omitempty"`
 }
 
 // Normalize returns the canonical form of s: defaults filled in and
@@ -107,6 +115,16 @@ func (s Spec) Normalize() Spec {
 	}
 	if s.TraceMax < 0 {
 		s.TraceMax = 0
+	}
+	if s.Fault != "" {
+		// Canonicalize so "drop=0.02" and " DROP=0.02 " digest alike;
+		// an unparsable plan is left verbatim for Validate to report.
+		if f, err := faults.ParseSpec(s.Fault); err == nil {
+			s.Fault = f.String()
+			if !f.Enabled() {
+				s.Fault = ""
+			}
+		}
 	}
 	return s
 }
@@ -155,7 +173,29 @@ func (s Spec) Validate() error {
 			return fmt.Errorf("serve: bad spec: stages %d (want 0 for default, or 2, 4, 6)", s.Stages)
 		}
 	}
+	if s.Fault != "" {
+		f, err := faults.ParseSpec(s.Fault)
+		if err != nil {
+			return fmt.Errorf("serve: bad spec: %w", err)
+		}
+		if err := f.Normalize().Validate(); err != nil {
+			return fmt.Errorf("serve: bad spec: %w", err)
+		}
+	}
 	return nil
+}
+
+// fault returns the compiled-in fault plan of a validated spec.
+func (s Spec) fault() faults.Spec {
+	if s.Fault == "" {
+		return faults.Spec{}
+	}
+	f, err := faults.ParseSpec(s.Fault)
+	if err != nil {
+		// Validate already rejected unparsable plans.
+		panic(fmt.Sprintf("serve: fault plan %q: %v", s.Fault, err))
+	}
+	return f.Normalize()
 }
 
 // mode returns the core protocol mode of a validated spec.
@@ -168,8 +208,8 @@ func (s Spec) mode() core.Mode {
 
 // specEncoding versions the digest encoding. Bump it when a field is
 // added or the canonical form changes: old cache entries then miss
-// instead of aliasing new specs.
-const specEncoding = "cenju4-serve spec v1"
+// instead of aliasing new specs. (v2: fault plan.)
+const specEncoding = "cenju4-serve spec v2"
 
 // Digest returns the content address of a spec: the canonical SHA-256
 // of its normalized encoding. Every field that can change a
@@ -184,6 +224,7 @@ func (s Spec) Digest() string {
 	w.Printf("iters=%d scale=%g seed=%d\n", n.Iterations, n.Scale, n.Seed)
 	w.Printf("protocol=%q stages=%d multicast=%t update=%t trace=%d\n",
 		n.Protocol, n.Stages, !n.NoMulticast, n.UpdateProtocol, n.TraceMax)
+	w.Printf("fault=%q\n", n.Fault)
 	return w.Sum()
 }
 

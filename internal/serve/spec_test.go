@@ -23,6 +23,29 @@ func TestNormalizeDefaults(t *testing.T) {
 	}
 }
 
+// TestNormalizeFaultCanonicalization: a preset name, its expanded k=v
+// form, and the explicit "none" plan all fold to canonical spellings,
+// so equivalent fault plans share one cache entry.
+func TestNormalizeFaultCanonicalization(t *testing.T) {
+	preset := Spec{App: "cg", Variant: "dsm2", Fault: "light-loss"}.Normalize()
+	if preset.Fault == "" || preset.Fault == "light-loss" {
+		t.Fatalf("preset not expanded to canonical k=v form: %q", preset.Fault)
+	}
+	kv := Spec{App: "cg", Variant: "dsm2", Fault: preset.Fault}.Normalize()
+	if kv.Fault != preset.Fault {
+		t.Fatalf("canonical form not a fixed point: %q vs %q", kv.Fault, preset.Fault)
+	}
+	if kv.Digest() != preset.Digest() {
+		t.Fatal("preset and its canonical spelling digest differently")
+	}
+	if none := (Spec{App: "cg", Variant: "dsm2", Fault: "none"}).Normalize(); none.Fault != "" {
+		t.Fatalf("explicit fault-free plan not folded to empty: %q", none.Fault)
+	}
+	if bad := (Spec{App: "cg", Variant: "dsm2", Fault: "frobnicate"}).Normalize(); bad.Fault != "frobnicate" {
+		t.Fatalf("unparsable plan rewritten by Normalize: %q", bad.Fault)
+	}
+}
+
 func TestValidate(t *testing.T) {
 	cases := []struct {
 		name   string
@@ -42,6 +65,10 @@ func TestValidate(t *testing.T) {
 		{"iterations overflow", func(s *Spec) { s.Iterations = 1000 }, false},
 		{"odd stages", func(s *Spec) { s.Stages = 3 }, false},
 		{"seq with many nodes", func(s *Spec) { s.App = "cg"; s.Variant = "seq"; s.Nodes = 8 }, false},
+		{"fault preset", func(s *Spec) { s.Fault = "light-loss" }, true},
+		{"fault kv", func(s *Spec) { s.Fault = "drop=0.02,seed=7" }, true},
+		{"unparsable fault", func(s *Spec) { s.Fault = "frobnicate" }, false},
+		{"out-of-range fault", func(s *Spec) { s.Fault = "drop=2" }, false},
 	}
 	for _, tc := range cases {
 		s := validSpec()
@@ -61,7 +88,7 @@ func TestValidate(t *testing.T) {
 // fails without a deliberate bump of specEncoding, the change would
 // silently split the service's cache keyspace.
 func TestDigestGoldenStability(t *testing.T) {
-	const want = "f902af89109c3def55775fc33147f523fc24277884a6fe8d5325d46e622d698d"
+	const want = "c029863cfca9680d7c46f300beb0469fd32c8d4d24c6e52f1a7ead96d4092c8d"
 	if got := validSpec().Digest(); got != want {
 		t.Fatalf("spec digest changed:\n got  %s\n want %s\n(if intentional, bump specEncoding and update this golden)", got, want)
 	}
@@ -101,6 +128,7 @@ func TestDigestFieldSensitivity(t *testing.T) {
 		"NoMulticast":    func(s *Spec) { s.NoMulticast = true },
 		"UpdateProtocol": func(s *Spec) { s.UpdateProtocol = true },
 		"TraceMax":       func(s *Spec) { s.TraceMax = 1000 },
+		"Fault":          func(s *Spec) { s.Fault = "light-loss" },
 	}
 	for field, mutate := range mutations {
 		s := validSpec()
