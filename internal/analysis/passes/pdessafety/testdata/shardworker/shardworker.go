@@ -1,0 +1,31 @@
+// Fixture for the psim shard-worker rule: the phase-A window executor
+// runs on concurrent goroutines with single-shard ownership, so a
+// package-level write anywhere in its static call tree is flagged —
+// while coordinator-side (phase B) methods may touch whatever they
+// like, because the window barrier serializes them.
+//
+//lintfixture:path cenju4/internal/psim
+package psim
+
+// windowsRun is the package-level sink a shard worker must not reach.
+var windowsRun int
+
+type Coordinator struct {
+	deadline int
+}
+
+// runShardWindow is the worker entry the analyzer pins by name.
+func (c *Coordinator) runShardWindow(i int, panics []any) { // want `psim shard worker psim\.Coordinator\.runShardWindow transitively writes package-level state: psim\.Coordinator\.runShardWindow -> psim\.Coordinator\.tally: non-atomic read-modify-write of package-level windowsRun \(shardworker\.go:\d+\)`
+	c.tally()
+}
+
+// tally is the intermediate hop: clean itself, tainted via the write.
+func (c *Coordinator) tally() {
+	windowsRun++
+}
+
+// replay is coordinator-side: same write, no diagnostic — only the
+// shard worker entry point carries the single-owner obligation.
+func (c *Coordinator) replay() {
+	windowsRun++
+}

@@ -1,0 +1,91 @@
+package fuzz
+
+import (
+	"testing"
+
+	"cenju4/internal/core"
+	"cenju4/internal/cpu"
+	"cenju4/internal/machine"
+	"cenju4/internal/topology"
+)
+
+// intraCells is a small slice of the protocol matrix that still covers
+// both coherence modes, multicast on/off, the update protocol, and the
+// extreme stage counts. The full matrix is the sequential fuzzer's job;
+// here each cell exists to push differently-shaped traffic through the
+// PDES window protocol.
+func intraCells() []Cell {
+	return []Cell{
+		{Mode: core.ModeQueuing, Multicast: true, Stages: 4},               // queuing baseline
+		{Mode: core.ModeNack, Multicast: false, Stages: 2},                 // nack, narrow net
+		{Mode: core.ModeQueuing, Multicast: true, Update: true, Stages: 6}, // update blocks in play
+		{Mode: core.ModeNack, Multicast: true, Update: true, Stages: 4},    // nack + update + multicast
+	}
+}
+
+// runIntraStreams executes generated op streams on a fresh machine at
+// the given shard count and returns the final-round digest. Two rounds
+// reuse one machine across Run calls, mirroring RunOps's round loop, so
+// the PDES driver-section bookkeeping is exercised across quiescence.
+func runIntraStreams(c Cell, ops [][]cpu.Op, shards, rounds int) string {
+	var update func(topology.Addr) bool
+	if c.Update {
+		update = updatePredicate
+	}
+	m := machine.New(machine.Config{
+		Nodes:         len(ops),
+		Stages:        c.Stages,
+		Multicast:     c.Multicast,
+		Mode:          c.Mode,
+		UpdateMode:    update,
+		IntraParallel: shards,
+		IntraWorkers:  2,
+		CPU:           cpu.Config{Quantum: 1000},
+	})
+	var digest string
+	for r := 0; r < rounds; r++ {
+		progs := make([]cpu.Program, len(ops))
+		for n := range progs {
+			progs[n] = &cpu.SliceProgram{Ops: roundSlice(ops[n], r, rounds)}
+		}
+		digest = machine.Digest(m.Run(progs))
+	}
+	return digest
+}
+
+// TestIntraParallelFuzzMatrixIdentity: for every adversarial traffic
+// pattern across a representative protocol-cell slice, the machine
+// digest under IntraParallel K in {2, 4, 8} is byte-identical to the
+// sequential kernel's. The golden-scale identity test pins one large
+// workload; this one sweeps the protocol races the fuzzer was built to
+// provoke (directory overflow, migratory ownership, false sharing,
+// eviction storms) through the window/replay machinery. CI runs it
+// under -race, which additionally checks the phase-disjoint ownership
+// claims in internal/psim.
+func TestIntraParallelFuzzMatrixIdentity(t *testing.T) {
+	const (
+		nodes  = 16
+		nops   = 320
+		rounds = 2
+	)
+	cells := intraCells()
+	if testing.Short() {
+		cells = cells[:2]
+	}
+	for _, cell := range cells {
+		for _, p := range AllPatterns() {
+			cell, p := cell, p
+			t.Run(cell.String()+"/"+p.String(), func(t *testing.T) {
+				t.Parallel()
+				seed := CaseSeed(1, int(p)<<8|cell.Stages)
+				ops := Generate(p, seed, nodes, nops)
+				seq := runIntraStreams(cell, ops, 1, rounds)
+				for _, k := range []int{2, 4, 8} {
+					if got := runIntraStreams(cell, ops, k, rounds); got != seq {
+						t.Errorf("K=%d: digest %s != sequential %s", k, got, seq)
+					}
+				}
+			})
+		}
+	}
+}

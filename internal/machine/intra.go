@@ -1,0 +1,100 @@
+package machine
+
+import (
+	"fmt"
+
+	"cenju4/internal/core"
+	"cenju4/internal/cpu"
+	"cenju4/internal/mpi"
+	"cenju4/internal/msg"
+	"cenju4/internal/network"
+	"cenju4/internal/psim"
+	"cenju4/internal/topology"
+)
+
+// buildIntra assembles the machine for IntraParallel > 1: the network
+// and MPI world live on the (serial) coordinator engine, while every
+// node's controller and processor are constructed against the engine,
+// message pool, and fabric/sync facades of the shard that owns the
+// node. See internal/psim for the window protocol and the determinism
+// argument; New has already validated the configuration.
+func (m *Machine) buildIntra() {
+	cfg := m.cfg
+	// The coordinator pool serves the replay phase (multicast expansion
+	// clones, absorbed gather contributions); each shard's controllers
+	// and deliveries use the shard's own pool. Messages migrate between
+	// freelists across the phase boundary, which is safe because each
+	// pool is only touched in its owner's phase.
+	pool := &msg.Pool{}
+	m.net = network.New(m.eng, network.Config{
+		Nodes:     cfg.Nodes,
+		Stages:    cfg.Stages,
+		Multicast: cfg.Multicast,
+		Params:    cfg.Params,
+		Pool:      pool,
+	})
+	m.world = mpi.New(m.eng, cfg.Nodes, cfg.MPI)
+	m.psim = psim.New(psim.Config{
+		Shards:   cfg.intraShards(),
+		Workers:  cfg.IntraWorkers,
+		Nodes:    cfg.Nodes,
+		Params:   cfg.Params,
+		MPI:      cfg.MPI,
+		Stages:   m.net.Stages(),
+		Net:      m.net,
+		World:    m.world,
+		CoordEng: m.eng,
+	})
+	m.ctrls = make([]*core.Controller, cfg.Nodes)
+	m.cpus = make([]*cpu.CPU, cfg.Nodes)
+	ctrlSlab := make([]core.Controller, cfg.Nodes)
+	cpuSlab := make([]cpu.CPU, cfg.Nodes)
+	for i := 0; i < cfg.Nodes; i++ {
+		node := topology.NodeID(i)
+		eng := m.psim.ShardEngine(node)
+		m.ctrls[i] = &ctrlSlab[i]
+		m.ctrls[i].Init(eng, m.psim.Fabric(node), core.Config{
+			Node:                node,
+			Nodes:               cfg.Nodes,
+			Params:              cfg.Params,
+			Mode:                cfg.Mode,
+			Cache:               cfg.Cache,
+			SinglecastThreshold: cfg.SinglecastThreshold,
+			UpdateMode:          cfg.UpdateMode,
+			Pool:                m.psim.ShardPool(node),
+			DenseDirectory:      cfg.DenseDirectory,
+		})
+		// The network-side attach only satisfies deliver()'s sanity
+		// check; at K > 1 the delivery router intercepts before the
+		// network's own scheduling, and the psim-side attach is the one
+		// that fires.
+		m.net.Attach(node, m.ctrls[i].Deliver)
+		m.psim.Attach(node, m.ctrls[i].Deliver)
+		cpuCfg := cfg.CPU
+		cpuCfg.Node = node
+		cpuCfg.Params = cfg.Params
+		m.cpus[i] = &cpuSlab[i]
+		m.cpus[i].Init(eng, m.ctrls[i], m.psim.Sync(node), cpuCfg)
+	}
+}
+
+// Intra exposes the PDES coordinator, nil when the machine runs on the
+// sequential kernel. Tests use it to assert the lookahead invariant
+// (MinSlack) and window counts.
+func (m *Machine) Intra() *psim.Coordinator { return m.psim }
+
+// runQuiescent invokes the registered quiescent callbacks; the psim
+// coordinator calls it at every global drain.
+func (m *Machine) runQuiescent() {
+	for _, f := range m.quiescent {
+		f()
+	}
+}
+
+// intraGate panics for machine features that are undefined or unsafe
+// under intra-run parallelism.
+func (m *Machine) intraGate(what string) {
+	if m.psim != nil {
+		panic(fmt.Sprintf("machine: %s is unsupported under IntraParallel > 1", what))
+	}
+}

@@ -1,0 +1,44 @@
+package machine
+
+import (
+	"testing"
+
+	"cenju4/internal/runner"
+)
+
+// benchIntra1024 runs the 1024-node synthetic golden workload (the
+// BENCH_scale scenario at machine scale) once per iteration at the
+// given shard count, with shard workers budgeted off GOMAXPROCS the
+// way the frontends do it.
+func benchIntra1024(b *testing.B, shards int) {
+	const n = 1024
+	b.ReportAllocs()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		progs := goldenProgs(n, 1)
+		m := New(Config{
+			Nodes:         n,
+			Multicast:     true,
+			IntraParallel: shards,
+			IntraWorkers:  runner.NestedBudget(1, shards),
+		})
+		b.StartTimer()
+		r := m.Run(progs)
+		events += r.Events
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+}
+
+// BenchmarkIntraSequential1024 is the sequential-kernel baseline the
+// PDES numbers are read against.
+func BenchmarkIntraSequential1024(b *testing.B) { benchIntra1024(b, 1) }
+
+// BenchmarkIntraParallel1024 is the headline intra-run parallelism
+// number: one 1024-node run sharded over 8 PDES partitions. The
+// speedup over BenchmarkIntraSequential1024 scales with available
+// cores (the digest does not — it is byte-identical at every K); on a
+// single-core runner this measures the window/replay machinery's
+// overhead instead, which the BENCH_scale.json floor pins so the
+// coordination cost cannot silently grow.
+func BenchmarkIntraParallel1024(b *testing.B) { benchIntra1024(b, 8) }

@@ -1,0 +1,128 @@
+package machine
+
+import (
+	"context"
+	"testing"
+
+	"cenju4/internal/timing"
+)
+
+// intraDigest runs the golden synthetic workload on n nodes at the
+// given shard/worker counts and returns the result digest.
+func intraDigest(t *testing.T, n, shards, workers, seed int) string {
+	t.Helper()
+	m := New(Config{
+		Nodes:         n,
+		Multicast:     true,
+		IntraParallel: shards,
+		IntraWorkers:  workers,
+	})
+	r := m.Run(goldenProgs(n, uint64(seed)))
+	return Digest(r)
+}
+
+// TestIntraDigestIdentitySmall: the PDES execution must be
+// byte-identical to the sequential kernel at every shard count, and
+// independent of the worker count.
+func TestIntraDigestIdentitySmall(t *testing.T) {
+	const n = 16
+	for _, seed := range []int{1, 7} {
+		seq := intraDigest(t, n, 1, 0, seed)
+		for _, k := range []int{2, 4, 8} {
+			if got := intraDigest(t, n, k, 1, seed); got != seq {
+				t.Errorf("seed %d K=%d workers=1: digest %s != sequential %s", seed, k, got, seq)
+			}
+			if got := intraDigest(t, n, k, 2, seed); got != seq {
+				t.Errorf("seed %d K=%d workers=2: digest %s != sequential %s", seed, k, got, seq)
+			}
+		}
+	}
+}
+
+// TestIntraLookaheadDifferential: the conservative window must be the
+// minimum cross-shard propagation latency from internal/timing, and no
+// replay-scheduled event may land inside the window that produced it.
+// The router enforces the invariant with a panic; this test asserts the
+// positive slack it recorded, so a silent weakening of the bound (or a
+// lookahead wider than the timing model justifies) fails loudly.
+func TestIntraLookaheadDifferential(t *testing.T) {
+	const n = 16
+	m := New(Config{Nodes: n, Multicast: true, IntraParallel: 4})
+	c := m.Intra()
+
+	p := timing.Default()
+	wantL := p.Traversal(m.Network().Stages(), false)
+	if mpiL := timing.DefaultMPI().Latency; mpiL < wantL {
+		wantL = mpiL
+	}
+	if c.Lookahead() != wantL {
+		t.Fatalf("lookahead %v, want min cross-shard latency %v", c.Lookahead(), wantL)
+	}
+
+	m.Run(goldenProgs(n, 3))
+	if c.Windows() == 0 {
+		t.Fatal("no windows ran — test is vacuous")
+	}
+	if c.MinSlack() < 1 {
+		t.Fatalf("min slack %v — a cross-shard event landed at or before its window deadline", c.MinSlack())
+	}
+}
+
+// TestIntraDigestIdentityScale: the golden-scale suite (the synthetic
+// 1024-node workload and the NPB CG shape) digests byte-identically at
+// every -parallel-intra level. The sequential digests are additionally
+// pinned by TestScaleGoldenDigests, so this transitively pins the PDES
+// execution to the golden files. CI's scale-smoke job runs this under
+// -race: phase-disjoint ownership across shards is then machine-checked,
+// not just argued.
+func TestIntraDigestIdentityScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1024-node runs are seconds each; skipped under -short")
+	}
+	for _, c := range scaleMatrix() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel() // each subtest owns its machines
+			seq := runScale(t, c)
+			for _, k := range []int{2, 4, 8} {
+				progs, cfg := c.progs(t)
+				cfg.IntraParallel = k
+				cfg.IntraWorkers = 2
+				m := New(cfg)
+				r, err := m.RunContext(context.Background(), progs, c.budget)
+				if err != nil {
+					t.Fatalf("K=%d: %v", k, err)
+				}
+				if got := Digest(r); got != seq {
+					t.Errorf("K=%d: digest %s != sequential %s", k, got, seq)
+				}
+				if slack := m.Intra().MinSlack(); slack < 1 {
+					t.Errorf("K=%d: min slack %v — lookahead invariant violated", k, slack)
+				}
+			}
+		})
+	}
+}
+
+// TestIntraConfigGates: invalid or unsupported combinations fail fast.
+func TestIntraConfigGates(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("non-power-of-two K", func() {
+		New(Config{Nodes: 16, IntraParallel: 3})
+	})
+	mustPanic("K > nodes", func() {
+		New(Config{Nodes: 4, IntraParallel: 8})
+	})
+	m := New(Config{Nodes: 8, IntraParallel: 2})
+	mustPanic("Engine() at K>1", func() { m.Engine() })
+	mustPanic("SetTracer at K>1", func() { m.SetTracer(nil) })
+	mustPanic("TrackValues at K>1", func() { m.TrackValues(nil) })
+}

@@ -1,0 +1,53 @@
+package psim
+
+import "sync"
+
+// startWorkers launches the persistent phase-A worker pool for this
+// run and returns a stop func plus the per-shard panic capture slots.
+// With one worker the pool is skipped entirely: runWindow executes
+// shard windows inline on the coordinator goroutine, so the full PDES
+// machinery runs (and is testable) on a single core.
+//
+// Shard i is always executed by worker i%workers, but any assignment
+// would do: phase A touches only shard-owned state, phase B only
+// coordinator-owned state, and the WaitGroup barrier orders the phases
+// — this phase-disjoint ownership is the entire synchronization story,
+// which is why the digest cannot depend on the worker count.
+func (c *Coordinator) startWorkers() (stop func(), panics []any) {
+	if c.cfg.Workers <= 1 {
+		return func() {}, nil
+	}
+	// Workers range over a local copy of the channel: stop() nils the
+	// field, and a worker goroutine scheduled late must not re-read it.
+	work := make(chan int)
+	c.work = work
+	panics = make([]any, len(c.shards))
+	var workerWG sync.WaitGroup
+	workerWG.Add(c.cfg.Workers)
+	for w := 0; w < c.cfg.Workers; w++ {
+		go func() {
+			defer workerWG.Done()
+			for i := range work {
+				c.runShardWindow(i, panics)
+			}
+		}()
+	}
+	return func() {
+		close(work)
+		workerWG.Wait()
+		c.work = nil
+	}, panics
+}
+
+// runShardWindow executes one shard's phase A with panic capture: a
+// shard panic (a model bug) must not crash the worker goroutine but
+// re-raise on the coordinator after the window barrier.
+func (c *Coordinator) runShardWindow(i int, panics []any) {
+	defer c.wg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			panics[i] = r
+		}
+	}()
+	c.shards[i].eng.RunDue(c.deadline)
+}

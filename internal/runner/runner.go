@@ -45,10 +45,13 @@ type Options struct {
 	// cancelled, no further run starts (runs already executing finish —
 	// fn itself must watch the context if mid-run abort is needed, as
 	// machine.RunContext does). Skipped runs leave the zero value in the
-	// result slice and never receive an each callback, so callers that
-	// pass a cancellable context must check Context.Err() before
-	// trusting the tail of the results. A nil Context reproduces the
-	// original run-everything behaviour for existing call sites.
+	// result slice and never receive an each callback; runs that
+	// completed before the cancellation still receive theirs, in index
+	// order, even when a lower-indexed run was claimed later and
+	// skipped. Callers that pass a cancellable context must check
+	// Context.Err() before trusting the tail of the results. A nil
+	// Context reproduces the original run-everything behaviour for
+	// existing call sites.
 	Context context.Context
 }
 
@@ -115,21 +118,27 @@ func MapEach[R any](o Options, n int, fn func(i int) R, each func(i int, r R)) (
 		return results, compact(panicked)
 	}
 
-	// Ordered delivery: done marks finished runs; cursor is the first
-	// index whose callback has not fired. Whichever worker finishes the
-	// run at the cursor drains the completed prefix.
+	// Ordered delivery: done marks settled runs (completed or skipped);
+	// cursor is the first index whose callback has not fired. Whichever
+	// worker settles the run at the cursor drains the completed prefix.
+	// A cancelled sweep marks every remaining index done-but-skipped
+	// rather than abandoning it: otherwise the cursor would stall on the
+	// first skipped index and suppress each callbacks for
+	// higher-indexed runs that already completed.
 	var (
 		mu     sync.Mutex
 		done   = make([]bool, n)
+		ranOK  = make([]bool, n)
 		cursor int
 		next   atomic.Int64
 		wg     sync.WaitGroup
 	)
-	deliver := func(i int) {
+	deliver := func(i int, ran bool) {
 		mu.Lock()
 		done[i] = true
+		ranOK[i] = ran
 		for cursor < n && done[cursor] {
-			if each != nil && panicked[cursor] == nil {
+			if each != nil && ranOK[cursor] && panicked[cursor] == nil {
 				each(cursor, results[cursor])
 			}
 			cursor++
@@ -142,20 +151,46 @@ func MapEach[R any](o Options, n int, fn func(i int) R, each func(i int, r R)) (
 		go func() {
 			defer wg.Done()
 			for {
-				if o.skip() {
-					return
-				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
+				if o.skip() {
+					deliver(i, false)
+					continue
+				}
 				runOne(o, i, fn, results, panicked)
-				deliver(i)
+				deliver(i, true)
 			}
 		}()
 	}
 	wg.Wait()
 	return results, compact(panicked)
+}
+
+// NestedBudget caps a per-run (inner) worker count so that outer
+// concurrent runs, each using the returned inner parallelism, never
+// oversubscribe the machine: outer × result ≤ GOMAXPROCS, with a floor
+// of 1. Sweep drivers that enable intra-run parallelism
+// (machine.Config.IntraParallel) must pass their Map parallelism as
+// outer; non-positive arguments mean GOMAXPROCS, matching
+// Options.Parallel semantics.
+func NestedBudget(outer, inner int) int {
+	procs := runtime.GOMAXPROCS(0)
+	if outer <= 0 {
+		outer = procs
+	}
+	if inner <= 0 {
+		inner = procs
+	}
+	budget := procs / outer
+	if budget < 1 {
+		budget = 1
+	}
+	if inner > budget {
+		inner = budget
+	}
+	return inner
 }
 
 // DeriveSeed expands a base seed into the seed for run i (splitmix64

@@ -3,7 +3,9 @@ package runner
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 )
@@ -203,5 +205,70 @@ func TestMapNilContextRunsEverything(t *testing.T) {
 	results, p := Map(Options{Parallel: 4}, 50, func(i int) int { return i })
 	if len(p) != 0 || len(results) != 50 {
 		t.Fatalf("results=%d panics=%d, want 50/0", len(results), len(p))
+	}
+}
+
+// TestMapEachCancelDeliversCompletedStragglers: regression for the
+// cursor stall on cancellation. Run 0 is slow; runs 1..3 complete
+// before the context is cancelled (from inside run 3); runs 4..5 are
+// claimed after cancellation and skipped. The skipped indices must be
+// marked settled so that when run 0 finally completes, the callbacks
+// for the already-completed runs 1..3 are delivered rather than
+// silently suppressed.
+func TestMapEachCancelDeliversCompletedStragglers(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	release := make(chan struct{})
+	var mu sync.Mutex
+	var calls []int
+
+	results, p := MapEach(Options{Parallel: 2, Context: ctx}, 6,
+		func(i int) int {
+			if i == 0 {
+				<-release // straggler: finishes after the sweep is cancelled
+				return 1
+			}
+			if i == 3 {
+				cancel()
+				close(release)
+			}
+			return i + 1
+		},
+		func(i, r int) {
+			mu.Lock()
+			calls = append(calls, i)
+			mu.Unlock()
+		})
+
+	if len(p) != 0 {
+		t.Fatalf("unexpected panics: %v", p)
+	}
+	if want := "[0 1 2 3]"; fmt.Sprint(calls) != want {
+		t.Fatalf("callbacks %v, want %s (completed prefix including stragglers)", calls, want)
+	}
+	for i := 4; i < 6; i++ {
+		if results[i] != 0 {
+			t.Fatalf("run %d executed after cancellation (result %d)", i, results[i])
+		}
+	}
+}
+
+// TestNestedBudget pins the Map × intra ≤ GOMAXPROCS rule.
+func TestNestedBudget(t *testing.T) {
+	procs := runtime.GOMAXPROCS(0)
+	cases := []struct {
+		outer, inner, want int
+	}{
+		{1, 1, 1},
+		{1, procs, procs},     // sole run may use the whole machine
+		{procs, procs, 1},     // saturated sweep: no intra budget
+		{0, 0, 1},             // both default to GOMAXPROCS
+		{2 * procs, 8, 1},     // oversubscribed sweep still gets the floor
+		{1, 3 * procs, procs}, // inner request clamped to the machine
+	}
+	for _, c := range cases {
+		if got := NestedBudget(c.outer, c.inner); got != c.want {
+			t.Errorf("NestedBudget(%d, %d) = %d, want %d (GOMAXPROCS=%d)",
+				c.outer, c.inner, got, c.want, procs)
+		}
 	}
 }

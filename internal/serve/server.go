@@ -12,6 +12,7 @@ import (
 
 	"cenju4/internal/machine"
 	"cenju4/internal/metrics"
+	"cenju4/internal/runner"
 )
 
 // Cache-disposition values reported in the X-Cenju4-Cache response
@@ -93,7 +94,10 @@ func New(cfg Config) *Server {
 	exec := cfg.Exec
 	if exec == nil {
 		exec = func(ctx context.Context, dig string, spec Spec) (*Entry, *metrics.Registry, error) {
-			return Execute(ctx, dig, spec, cfg.Limits.MaxEvents)
+			// Pool workers x PDES shard workers must not oversubscribe
+			// the process; NestedBudget splits GOMAXPROCS between them.
+			return Execute(ctx, dig, spec, cfg.Limits.MaxEvents,
+				runner.NestedBudget(cfg.Workers, spec.IntraParallel))
 		}
 	}
 	s.pool = NewPool(PoolConfig{

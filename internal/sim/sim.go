@@ -43,6 +43,7 @@ type Event struct {
 	fnc    func(any)
 	arg    any
 	next   *Event // intrusive calendar-queue bucket link (see calqueue.go)
+	rank   *Rank  // ranked-mode ordering key (nil in sequential mode; see rank.go)
 	dead   bool   // canceled before firing
 	queued bool   // currently in the calendar queue
 }
@@ -63,8 +64,22 @@ type Engine struct {
 	seq     uint64
 	queue   calQueue
 	fired   uint64
+	lastAt  Time // time of the most recently fired event
 	stopped bool
 	idle    func()
+
+	// Ranked mode (see rank.go): events are ordered by (time, Rank)
+	// instead of (time, seq), which lets an outside coordinator inject
+	// events whose ordering reproduces the sequential engine's insertion
+	// order exactly. Sequential mode never touches these fields.
+	ranked   bool
+	rh       rankHeap
+	curRank  *Rank  // rank of the currently firing event (nil in driver context)
+	pushSlot uint64 // per-firing-context push counter
+	drvTime  Time   // current driver section's virtual time
+	drvSec   uint64 // driver section counter
+	drvSlot  uint64 // push counter within the current driver section
+	drvPre   bool   // current driver section precedes the run (sorts first)
 
 	// free and chunk implement the event pool: fired events return to
 	// free; fresh events are carved from chunk in blocks so one
@@ -90,7 +105,12 @@ func (e *Engine) Fired() uint64 { return e.fired }
 
 // Pending returns the number of events waiting in the queue (canceled
 // events do not count).
-func (e *Engine) Pending() int { return e.queue.size }
+func (e *Engine) Pending() int {
+	if e.ranked {
+		return e.rh.size
+	}
+	return e.queue.size
+}
 
 // alloc returns a zeroed event record from the pool.
 func (e *Engine) alloc() *Event {
@@ -114,6 +134,7 @@ func (e *Engine) recycle(ev *Event) {
 	ev.fn = nil
 	ev.fnc = nil
 	ev.arg = nil
+	ev.rank = nil
 	ev.queued = false
 	e.free = append(e.free, ev)
 }
@@ -138,6 +159,11 @@ func (e *Engine) At(t Time, fn func()) *Event {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
 	ev := e.alloc()
+	if e.ranked {
+		*ev = Event{at: t, rank: e.nextRank(), fn: fn, queued: true}
+		e.rh.push(ev)
+		return ev
+	}
 	*ev = Event{at: t, seq: e.seq, fn: fn, queued: true}
 	e.seq++
 	e.queue.push(ev)
@@ -157,17 +183,29 @@ func (e *Engine) AtCall(t Time, fn func(any), arg any) *Event {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
 	ev := e.alloc()
+	if e.ranked {
+		*ev = Event{at: t, rank: e.nextRank(), fnc: fn, arg: arg, queued: true}
+		e.rh.push(ev)
+		return ev
+	}
 	*ev = Event{at: t, seq: e.seq, fnc: fn, arg: arg, queued: true}
 	e.seq++
 	e.queue.push(ev)
 	return ev
 }
 
-// After schedules fn to run d nanoseconds from now.
+// After schedules fn to run d nanoseconds from now. A delay so large
+// that now+d wraps around sim.Time panics with an overflow diagnosis
+// (without the check the wrapped value would trip At's
+// scheduling-in-the-past panic, blaming the wrong bug).
 //
 //cenju4:hotpath
 func (e *Engine) After(d Time, fn func()) *Event {
-	return e.At(e.now+d, fn)
+	t := e.now + d
+	if t < e.now {
+		panic(fmt.Sprintf("sim: After(%v) from now %v overflows sim.Time", d, e.now))
+	}
+	return e.At(t, fn)
 }
 
 // Cancel removes a pending event. Canceling an already-fired or
@@ -181,6 +219,10 @@ func (e *Engine) Cancel(ev *Event) {
 	}
 	ev.dead = true
 	ev.queued = false
+	if e.ranked {
+		e.rh.size--
+		return
+	}
 	e.queue.size--
 	e.queue.dead++
 }
@@ -190,16 +232,44 @@ func (e *Engine) Cancel(ev *Event) {
 //
 //cenju4:hotpath
 func (e *Engine) Step() bool {
-	ev := e.queue.pop()
+	ev := e.pop()
 	if ev == nil {
 		return false
 	}
+	e.fireEvent(ev)
+	return true
+}
+
+// pop removes the earliest pending event from whichever queue the
+// engine runs on (nil when empty).
+//
+//cenju4:hotpath
+func (e *Engine) pop() *Event {
+	if e.ranked {
+		return e.rh.pop()
+	}
+	return e.queue.pop()
+}
+
+// fireEvent advances the clock to ev and runs its callback. In ranked
+// mode the event's rank becomes the push context for everything the
+// callback schedules.
+//
+//cenju4:hotpath
+func (e *Engine) fireEvent(ev *Event) {
 	e.now = ev.at
+	e.lastAt = ev.at
 	e.fired++
 	fn, fnc, arg := ev.fn, ev.fnc, ev.arg
+	if e.ranked {
+		e.curRank = ev.rank
+		e.pushSlot = 0
+	}
 	e.recycle(ev)
 	fire(fn, fnc, arg)
-	return true
+	if e.ranked {
+		e.curRank = nil
+	}
 }
 
 // SetIdleFunc installs fn (nil removes it), invoked by Run every time
@@ -224,7 +294,7 @@ func (e *Engine) Run() uint64 {
 		if e.idle != nil {
 			e.idle()
 		}
-		if e.queue.size == 0 {
+		if e.Pending() == 0 {
 			break
 		}
 	}
@@ -242,6 +312,12 @@ func (e *Engine) Run() uint64 {
 // call, so chunked execution cannot perturb a result digest. Like Run
 // it clears a stale Stop on entry and returns early (with more
 // reporting the queue state) when Stop is called mid-chunk.
+//
+// When the event limit lands exactly on a queue drain, the drain has
+// not yet been offered to the idle func; RunChunk then reports
+// more=true so the next call delivers the callback (which may refill
+// the queue). A finished simulation costs at most one extra call that
+// fires zero events.
 func (e *Engine) RunChunk(limit uint64) (fired uint64, more bool) {
 	start := e.fired
 	e.stopped = false
@@ -252,16 +328,23 @@ func (e *Engine) RunChunk(limit uint64) (fired uint64, more bool) {
 		if e.idle != nil {
 			e.idle()
 		}
-		if e.queue.size == 0 {
+		if e.Pending() == 0 {
 			return e.fired - start, false
 		}
 	}
-	return e.fired - start, e.queue.size > 0
+	if e.stopped {
+		return e.fired - start, e.Pending() > 0
+	}
+	return e.fired - start, e.Pending() > 0 || e.idle != nil
 }
 
 // RunUntil executes events with time <= deadline. Events scheduled past
 // the deadline remain queued; the clock is left at the last fired event
-// (or advanced to the deadline if nothing fired at it). Like Run it
+// (or advanced to the deadline if nothing fired at it). The idle func
+// is invoked at every queue drain, exactly as in Run and RunChunk, so
+// quiescent-point hooks (Machine.AutoValidate, round-injecting drivers)
+// keep firing under window-bounded execution; events the idle func
+// schedules at or before the deadline run within this call. Like Run it
 // clears a stale Stop on entry and returns early when Stop is called.
 //
 //cenju4:hotpath
@@ -269,19 +352,23 @@ func (e *Engine) RunUntil(deadline Time) uint64 {
 	start := e.fired
 	e.stopped = false
 	for !e.stopped {
-		ev := e.queue.pop()
+		ev := e.pop()
 		if ev == nil {
+			// True drain: give the idle func its quiescent point; if it
+			// refills the queue, keep going (Run behaves identically).
+			if e.idle != nil {
+				e.idle()
+				if e.Pending() > 0 {
+					continue
+				}
+			}
 			break
 		}
 		if ev.at > deadline {
-			e.queue.push(ev) // not due: put it back (seq preserved)
+			e.unpop(ev) // not due: put it back (ordering key preserved)
 			break
 		}
-		e.now = ev.at
-		e.fired++
-		fn, fnc, arg := ev.fn, ev.fnc, ev.arg
-		e.recycle(ev)
-		fire(fn, fnc, arg)
+		e.fireEvent(ev)
 	}
 	if e.now < deadline && !e.stopped {
 		e.now = deadline
@@ -289,8 +376,27 @@ func (e *Engine) RunUntil(deadline Time) uint64 {
 	return e.fired - start
 }
 
-// RunFor runs events within the next d nanoseconds (see RunUntil).
-func (e *Engine) RunFor(d Time) uint64 { return e.RunUntil(e.now + d) }
+// unpop returns a popped-but-not-fired event to the queue. Its ordering
+// key (seq or rank) is untouched, so the put-back cannot perturb
+// tie-breaking.
+func (e *Engine) unpop(ev *Event) {
+	if e.ranked {
+		e.rh.push(ev)
+		return
+	}
+	e.queue.push(ev)
+}
+
+// RunFor runs events within the next d nanoseconds (see RunUntil). A
+// horizon so large that now+d wraps around sim.Time panics with an
+// overflow diagnosis rather than a misleading result.
+func (e *Engine) RunFor(d Time) uint64 {
+	deadline := e.now + d
+	if deadline < e.now {
+		panic(fmt.Sprintf("sim: RunFor(%v) from now %v overflows sim.Time", d, e.now))
+	}
+	return e.RunUntil(deadline)
+}
 
 // Stop makes the current Run/RunUntil call return after the current
 // event completes. Pending events stay queued and fire on the next
